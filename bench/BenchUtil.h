@@ -1,0 +1,30 @@
+//===- bench/BenchUtil.h - shared helpers for the paper benches -*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_BENCH_BENCHUTIL_H
+#define GPUPERF_BENCH_BENCHUTIL_H
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <string>
+
+namespace gpuperf {
+
+/// Prints a bench section header.
+inline void benchHeader(const std::string &Title) {
+  std::string Bar(Title.size(), '=');
+  std::printf("%s\n%s\n", Title.c_str(), Bar.c_str());
+}
+
+inline void benchPrint(const std::string &Text) {
+  std::fputs(Text.c_str(), stdout);
+}
+
+} // namespace gpuperf
+
+#endif // GPUPERF_BENCH_BENCHUTIL_H

@@ -1,0 +1,40 @@
+//===- bench/fig2_ffma_lds_mix.cpp - regenerate Figure 2 ------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// Regenerates Figure 2: thread-instruction throughput of independent
+// FFMA/LDS.X mixes as the FFMA:LDS ratio grows, on Fermi and Kepler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "ubench/MixBench.h"
+
+using namespace gpuperf;
+
+static void sweep(const MachineDesc &M) {
+  benchHeader(formatString("Figure 2 (%s): throughput mixing FFMA and "
+                           "LDS.X, independent",
+                           M.Name.c_str()));
+  Table T;
+  T.setHeader({"FFMA/LDS ratio", "LDS", "LDS.64", "LDS.128"});
+  for (int Ratio : {0, 1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32}) {
+    std::vector<std::string> Row = {formatString("%d", Ratio)};
+    for (MemWidth W : {MemWidth::B32, MemWidth::B64, MemWidth::B128}) {
+      MixBenchParams P;
+      P.FfmaPerLds = Ratio;
+      P.Width = W;
+      Kernel K = generateMixBench(M, P);
+      Row.push_back(formatDouble(measureThroughput(M, K), 1));
+    }
+    T.addRow(Row);
+  }
+  benchPrint(T.render());
+  benchPrint("\n");
+}
+
+int main() {
+  sweep(gtx580());
+  sweep(gtx680());
+  return 0;
+}

@@ -1,0 +1,39 @@
+//===- bench/fig3_register_blocking.cpp - regenerate Figure 3 -------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// Regenerates Figure 3: the FFMA instruction percentage of the SGEMM main
+// loop as a function of the register blocking factor, for each LDS width.
+// Purely analytic (Section 4.2's combinatorics).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "model/UpperBound.h"
+
+using namespace gpuperf;
+
+int main() {
+  benchHeader("Figure 3: FFMA percentage in the SGEMM main loop vs "
+              "register blocking factor");
+  Table T;
+  T.setHeader({"blocking factor", "LDS", "LDS.64", "LDS.128"});
+  for (int BR = 1; BR <= 14; ++BR) {
+    T.addRow({formatString("%d", BR),
+              formatDouble(
+                  100 * UpperBoundModel::ffmaFraction(BR, MemWidth::B32),
+                  1) + "%",
+              formatDouble(
+                  100 * UpperBoundModel::ffmaFraction(BR, MemWidth::B64),
+                  1) + "%",
+              formatDouble(
+                  100 * UpperBoundModel::ffmaFraction(BR, MemWidth::B128),
+                  1) + "%"});
+  }
+  benchPrint(T.render());
+  benchPrint(
+      "\nPaper's annotated points at BR=6: 75%, 85.7%, 92.3%.\n"
+      "Equation (2) loose bound on BR with 63 registers/thread: " +
+      formatString("%d\n", UpperBoundModel::maxBlockingFactorLoose(63)));
+  return 0;
+}

@@ -1,0 +1,37 @@
+//===- bench/fig4_active_threads.cpp - regenerate Figure 4 ----------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// Regenerates Figure 4: throughput of the 6:1 FFMA/LDS.64 mix as the
+// number of active threads per SM grows, for independent instructions and
+// for the SGEMM-like pattern where the FFMAs depend on the load.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "ubench/PerfDatabase.h"
+
+using namespace gpuperf;
+
+static void sweep(const MachineDesc &M, const std::vector<int> &Threads) {
+  benchHeader(formatString(
+      "Figure 4 (%s): FFMA/LDS.64 6:1 mix vs active threads per SM",
+      M.Name.c_str()));
+  PerfDatabase DB(M);
+  Table T;
+  T.setHeader({"active threads", "dependent", "independent"});
+  for (int N : Threads)
+    T.addRow({formatString("%d", N),
+              formatDouble(
+                  DB.mixThroughput(6, MemWidth::B64, true, N), 1),
+              formatDouble(
+                  DB.mixThroughput(6, MemWidth::B64, false, N), 1)});
+  benchPrint(T.render());
+  benchPrint("\n");
+}
+
+int main() {
+  sweep(gtx580(), {32, 64, 128, 192, 256, 384, 512, 768, 1024});
+  sweep(gtx680(), {32, 64, 128, 256, 512, 768, 1024, 1536, 2048});
+  return 0;
+}

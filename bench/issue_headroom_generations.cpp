@@ -1,0 +1,56 @@
+//===- bench/issue_headroom_generations.cpp - Section 4.2 across GPUs -----===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// Section 4.2's architectural story, demonstrated on the simulator across
+// all three generations of Table 1:
+//
+//  * GT200: the scheduler issues 16 thread insts/cycle but the 8 SPs only
+//    process 8 -- LDS instructions ride along "for free", so blocking
+//    barely matters;
+//  * Fermi: issue (32) exactly matches SP throughput (32) -- every LDS
+//    displaces an FFMA, which is why register blocking and wide loads
+//    decide performance;
+//  * Kepler GK104: the SPs could process 192 but the schedulers sustain
+//    only ~132 -- no mix can reach the marketing peak.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "ubench/MixBench.h"
+
+using namespace gpuperf;
+
+int main() {
+  benchHeader("Section 4.2: issue headroom vs SP processing throughput "
+              "across generations");
+  Table T;
+  T.setHeader({"machine", "SPs/SM", "pure FFMA", "3:1 +LDS", "FFMA in mix",
+               "LDS cost"});
+  for (const MachineDesc *MP : {&gt200(), &gtx580(), &gtx680()}) {
+    const MachineDesc &M = *MP;
+    MixBenchParams P;
+    P.FfmaPerLds = -1;
+    double Pure = measureThroughput(M, generateMixBench(M, P),
+                                    {512, 1});
+    P.FfmaPerLds = 3;
+    P.Width = MemWidth::B32;
+    double Mixed = measureThroughput(M, generateMixBench(M, P),
+                                     {512, 1});
+    double FfmaInMix = Mixed * 3.0 / 4.0;
+    // How much FFMA throughput one LDS.32 per 3 FFMAs costs (0 = free).
+    double LdsCost = (Pure - FfmaInMix) / Pure;
+    T.addRow({M.Name, formatString("%d", M.SPsPerSM),
+              formatDouble(Pure, 1), formatDouble(Mixed, 1),
+              formatDouble(FfmaInMix, 1),
+              formatDouble(100 * LdsCost, 1) + "%"});
+  }
+  benchPrint(T.render());
+  benchPrint(
+      "\nReading: on GT200 the LDS instructions are (nearly) free -- the "
+      "issue rate exceeds the SP rate. On Fermi they displace FFMAs "
+      "one-for-one (which is why Section 4 centers on minimizing "
+      "auxiliary instructions), and on Kepler even pure FFMA cannot "
+      "saturate the 192 SPs.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/k20x_projection.cpp - Section 1's Tesla GK110 extension ------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// The paper (Section 1) notes that the Tesla K20X (GK110) uses a different
+// instruction set allowing 255 registers per thread, documents ~73% SGEMM
+// efficiency, and claims "it should not be difficult to extend the
+// analysis ... using our approach". This bench does exactly that: it runs
+// the upper-bound model on a GK110 projection, sweeping the register
+// blocking factor that the relaxed encoding limit unlocks.
+//
+// Everything here is an EXTRAPOLATION: GK110's issue-path parameters in
+// the machine description are assumptions (documented there), not
+// paper-measured values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "model/UpperBound.h"
+
+using namespace gpuperf;
+
+int main() {
+  benchHeader("Extension: projected SGEMM upper bound on Tesla K20X "
+              "(GK110, 255 registers/thread)");
+  const MachineDesc &M = teslaK20X();
+  PerfDatabase DB(M);
+  UpperBoundModel Model(DB);
+
+  benchPrint(formatString(
+      "Peak %.0f GFLOPS; Equation 2 loose BR limit with %d registers: "
+      "%d (vs 7 on GK104)\n\n",
+      M.theoreticalPeakGflops(), M.MaxRegsPerThread,
+      UpperBoundModel::maxBlockingFactorLoose(M.MaxRegsPerThread)));
+
+  Table T;
+  T.setHeader({"BR", "regs/thread", "active threads", "FFMA frac",
+               "measured mix", "potential", "% of peak"});
+  UpperBoundReport Best;
+  Best.Feasible = false;
+  for (int BR : {4, 6, 8, 10, 12, 14}) {
+    SgemmModelParams P;
+    P.BR = BR;
+    P.LdsWidth = MemWidth::B64;
+    if (!UpperBoundModel::strideValid(P.TB, P.BR, P.L))
+      continue;
+    UpperBoundReport R = Model.analyze(P);
+    if (!R.Feasible) {
+      T.addRow({formatString("%d", BR),
+                formatString("%d", R.Budget.total()), "-", "-", "-",
+                "infeasible", "-"});
+      continue;
+    }
+    if (!Best.Feasible || R.PotentialGflops > Best.PotentialGflops)
+      Best = R;
+    T.addRow({formatString("%d", BR),
+              formatString("%d", R.Budget.total()),
+              formatString("%d", R.Occ.ActiveThreads),
+              formatDouble(100 * R.FfmaFraction, 1) + "%",
+              formatDouble(R.MixedThroughput, 1),
+              formatDouble(R.PotentialGflops, 0),
+              formatDouble(100 * R.FractionOfPeak, 1) + "%"});
+  }
+  benchPrint(T.render());
+  if (Best.Feasible) {
+    benchPrint(formatString(
+        "\nBest projected bound: BR=%d at %.1f%% of peak; NVIDIA "
+        "documents ~73%% achieved SGEMM efficiency on this card.\n",
+        Best.Params.BR, 100 * Best.FractionOfPeak));
+    if (0.73 > Best.FractionOfPeak)
+      benchPrint("The documented efficiency slightly exceeds this "
+                 "projection, i.e. GK110's real sustained issue rate "
+                 "tops the conservative 160 insts/cycle assumed here -- "
+                 "but the structural conclusion stands: the 255-register "
+                 "ISA removes the blocking-factor ceiling that capped "
+                 "GK104 at ~55%.\n");
+  }
+  benchPrint("\nTakeaway (the paper's Section 4.4 tradeoff): a larger BR "
+             "raises the FFMA share, but its register cost lowers the "
+             "occupancy the throughput factor needs; the model finds the "
+             "balance point that the 63-register ISA denied GK104.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- bench/model_validation.cpp - bound-vs-achieved validation ----------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// The defining property of the paper's model is that it is an *upper
+// bound*: no implementation, on any configuration, may exceed it. This
+// bench sweeps implementations and configurations on both machines and
+// checks achieved <= bound everywhere, reporting tightness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "model/UpperBound.h"
+#include "sgemm/SgemmRunner.h"
+
+using namespace gpuperf;
+
+int main() {
+  benchHeader("Model validation: every measured configuration must stay "
+              "under its upper bound (SGEMM NN 1920^3)");
+  bool AllUnderBound = true;
+  for (const MachineDesc *MP : {&gtx580(), &gtx680()}) {
+    const MachineDesc &M = *MP;
+    PerfDatabase DB(M);
+    UpperBoundModel Model(DB);
+    Table T;
+    T.setHeader({"configuration", "bound", "achieved", "% of bound"});
+    struct Case {
+      const char *Name;
+      SgemmKernelConfig Cfg;
+      SgemmModelParams Params;
+    };
+    std::vector<Case> Cases;
+    for (int BR : {4, 6}) {
+      for (MemWidth W : {MemWidth::B32, MemWidth::B64}) {
+        Case C;
+        C.Cfg.BR = BR;
+        C.Cfg.LdsWidth = W;
+        C.Params.BR = BR;
+        C.Params.LdsWidth = W;
+        Cases.push_back(C);
+      }
+    }
+    for (Case &C : Cases) {
+      UpperBoundReport Bound = Model.analyze(C.Params);
+      SgemmProblem P;
+      P.M = P.N = P.K = 1920;
+      SgemmRunOptions O;
+      O.Mode = SimMode::ProjectOneWave;
+      auto R = runSgemmConfig(M, C.Cfg, P, O);
+      if (!R) {
+        benchPrint("error: " + R.message() + "\n");
+        return 1;
+      }
+      double Pct = 100 * R->Gflops / Bound.PotentialGflops;
+      if (R->Gflops > Bound.PotentialGflops)
+        AllUnderBound = false;
+      T.addRow({formatString("BR=%d %s", C.Params.BR,
+                             C.Params.LdsWidth == MemWidth::B64
+                                 ? "LDS.64"
+                                 : "LDS"),
+                formatDouble(Bound.PotentialGflops, 0),
+                formatDouble(R->Gflops, 0),
+                formatDouble(Pct, 1) + "%"});
+    }
+    benchPrint(formatString("\n%s:\n", M.Name.c_str()));
+    benchPrint(T.render());
+  }
+  benchPrint(AllUnderBound
+                 ? "\nPASS: no configuration exceeded its bound.\n"
+                 : "\nFAIL: a configuration exceeded its bound!\n");
+  return AllUnderBound ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+//===- bench/table2_math_throughput.cpp - regenerate Table 2 --------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// Regenerates the paper's Table 2: math instruction throughput on Kepler
+// GK104 for operand patterns with different register-bank layouts, using
+// the same methodology (register-renamed independent copies of the
+// pattern unrolled; throughput in thread instructions per shader cycle
+// per SMX).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "ubench/MixBench.h"
+#include "ubench/OpPattern.h"
+
+using namespace gpuperf;
+
+int main() {
+  benchHeader("Table 2: Kepler math instruction throughput vs operand "
+              "register indices");
+  const MachineDesc &M = gtx680();
+
+  Table T;
+  T.setHeader({"pattern", "paper", "measured", "ratio"});
+  for (const Table2Row &Row : table2Patterns()) {
+    Kernel K = generateOpPatternBench(M, Row.Pattern);
+    MeasureConfig Cfg;
+    Cfg.ThreadsPerBlock = 1024;
+    Cfg.BlocksPerSM = 1;
+    double Measured = measureThroughput(M, K, Cfg);
+    T.addRow({Row.Syntax, formatDouble(Row.PaperThroughput, 1),
+              formatDouble(Measured, 1),
+              formatDouble(Measured / Row.PaperThroughput, 3)});
+  }
+  benchPrint(T.render());
+
+  // The Section 3.3 repeated-source structure.
+  Kernel Rep = generateOpPatternBench(M, makeFFMA(4, 3, 3, 4));
+  MeasureConfig Cfg;
+  Cfg.ThreadsPerBlock = 1024;
+  Cfg.BlocksPerSM = 1;
+  benchPrint(formatString(
+      "\nFFMA RA, RB, RB, RA (repeated source, Section 3.3): paper ~178, "
+      "measured %.1f\n",
+      measureThroughput(M, Rep, Cfg)));
+  return 0;
+}

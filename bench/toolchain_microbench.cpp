@@ -1,0 +1,97 @@
+//===- bench/toolchain_microbench.cpp - toolchain performance -------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// google-benchmark microbenchmarks of the reproduction's own toolchain:
+// instruction encode/decode, assembly, disassembly, kernel generation and
+// simulation throughput. Not a paper experiment -- this keeps the
+// substrate's performance visible so the big sweeps stay tractable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmtool/Assembler.h"
+#include "asmtool/Disassembler.h"
+#include "isa/Encoding.h"
+#include "kernelgen/SgemmGenerator.h"
+#include "sgemm/SgemmRunner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gpuperf;
+
+namespace {
+
+SgemmKernelConfig benchConfig() {
+  SgemmKernelConfig Cfg;
+  Cfg.M = Cfg.N = Cfg.K = 960;
+  Cfg.Lda = Cfg.Ldb = Cfg.Ldc = 960;
+  return Cfg;
+}
+
+void BM_EncodeDecode(benchmark::State &State) {
+  Instruction I = makeFFMA(10, 1, 4, 10);
+  for (auto _ : State) {
+    uint64_t Word = encodeInstruction(I);
+    auto Back = decodeInstruction(Word);
+    benchmark::DoNotOptimize(Back);
+  }
+}
+BENCHMARK(BM_EncodeDecode);
+
+void BM_GenerateSgemmKernel(benchmark::State &State) {
+  for (auto _ : State) {
+    auto K = generateSgemmKernel(gtx580(), benchConfig());
+    benchmark::DoNotOptimize(K);
+  }
+}
+BENCHMARK(BM_GenerateSgemmKernel);
+
+void BM_DisassembleSgemm(benchmark::State &State) {
+  auto K = generateSgemmKernel(gtx580(), benchConfig());
+  for (auto _ : State) {
+    std::string Text = disassembleKernel(*K);
+    benchmark::DoNotOptimize(Text);
+  }
+}
+BENCHMARK(BM_DisassembleSgemm);
+
+void BM_AssembleSgemm(benchmark::State &State) {
+  auto K = generateSgemmKernel(gtx580(), benchConfig());
+  Module M;
+  M.Arch = GpuGeneration::Fermi;
+  M.Kernels.push_back(*K);
+  std::string Text = disassembleModule(M);
+  for (auto _ : State) {
+    auto Back = assembleText(Text);
+    benchmark::DoNotOptimize(Back);
+  }
+}
+BENCHMARK(BM_AssembleSgemm);
+
+void BM_SerializeModule(benchmark::State &State) {
+  auto K = generateSgemmKernel(gtx680(), benchConfig());
+  Module M;
+  M.Arch = GpuGeneration::Kepler;
+  M.Kernels.push_back(*K);
+  for (auto _ : State) {
+    auto Bytes = M.serialize();
+    benchmark::DoNotOptimize(Bytes);
+  }
+}
+BENCHMARK(BM_SerializeModule);
+
+void BM_SimulateSgemmWave(benchmark::State &State) {
+  SgemmProblem P;
+  P.M = P.N = P.K = 480;
+  SgemmRunOptions O;
+  O.Mode = SimMode::ProjectOneWave;
+  for (auto _ : State) {
+    auto R = runSgemm(gtx580(), SgemmImpl::AsmTuned, P, O);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_SimulateSgemmWave)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

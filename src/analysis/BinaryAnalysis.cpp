@@ -1,0 +1,88 @@
+//===- analysis/BinaryAnalysis.cpp - static kernel analyses ---------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BinaryAnalysis.h"
+
+#include "arch/RegisterBank.h"
+#include "support/Format.h"
+
+using namespace gpuperf;
+
+InstructionMix gpuperf::analyzeInstructionMix(const Kernel &K) {
+  InstructionMix Mix;
+  for (const Instruction &I : K.Code) {
+    ++Mix.Total;
+    ++Mix.ByOpcode[static_cast<size_t>(I.Op)];
+    switch (opcodeInfo(I.Op).Class) {
+    case OpClass::FloatMath:
+      ++Mix.FloatMath;
+      break;
+    case OpClass::IntMath:
+    case OpClass::IntMulMath:
+      ++Mix.IntMath;
+      break;
+    case OpClass::SharedMem:
+      ++Mix.SharedMem;
+      break;
+    case OpClass::GlobalMem:
+      ++Mix.GlobalMem;
+      break;
+    case OpClass::Control:
+      ++Mix.Control;
+      break;
+    case OpClass::Move:
+      ++Mix.Move;
+      break;
+    }
+  }
+  return Mix;
+}
+
+FfmaConflictCensus gpuperf::analyzeFfmaConflicts(const Kernel &K) {
+  FfmaConflictCensus Census;
+  for (const Instruction &I : K.Code) {
+    if (I.Op != Opcode::FFMA)
+      continue;
+    ++Census.Ffma;
+    RegList Distinct;
+    for (int Slot = 0; Slot < 3; ++Slot) {
+      uint8_t Reg = I.Src[Slot];
+      if (Reg != RegRZ && !Distinct.contains(Reg))
+        Distinct.push(Reg);
+    }
+    switch (bankConflictDegree(Distinct)) {
+    case 1:
+      ++Census.NoConflict;
+      break;
+    case 2:
+      ++Census.TwoWay;
+      break;
+    default:
+      ++Census.ThreeWay;
+      break;
+    }
+  }
+  return Census;
+}
+
+std::string gpuperf::renderKernelReport(const Kernel &K) {
+  InstructionMix Mix = analyzeInstructionMix(K);
+  FfmaConflictCensus Census = analyzeFfmaConflicts(K);
+  std::string Out;
+  Out += formatString("kernel %s: %d instructions, %d registers/thread, "
+                      "%d bytes shared\n",
+                      K.Name.c_str(), Mix.Total, K.RegsPerThread,
+                      K.SharedBytes);
+  Out += formatString("  mix: %.1f%% FFMA, %d LDS.X, %d global, %d int, "
+                      "%d move, %d control\n",
+                      Mix.ffmaPercent(), Mix.SharedMem, Mix.GlobalMem,
+                      Mix.IntMath, Mix.Move, Mix.Control);
+  Out += formatString("  FFMA bank conflicts: %.1f%% none, %.1f%% 2-way, "
+                      "%.1f%% 3-way\n",
+                      Census.noConflictPercent(), Census.twoWayPercent(),
+                      Census.threeWayPercent());
+  return Out;
+}

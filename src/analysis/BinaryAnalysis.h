@@ -1,0 +1,74 @@
+//===- analysis/BinaryAnalysis.h - static kernel analyses -------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static analyses over kernel binaries, mirroring what the paper did to
+/// the MAGMA/CUBLAS cubins with its disassembler: instruction-mix
+/// statistics (Section 4's "80.5% of instructions executed are FFMA") and
+/// the FFMA register-bank-conflict census of Figure 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ANALYSIS_BINARYANALYSIS_H
+#define GPUPERF_ANALYSIS_BINARYANALYSIS_H
+
+#include "isa/Module.h"
+
+#include <array>
+
+namespace gpuperf {
+
+/// Static instruction mix of a kernel.
+struct InstructionMix {
+  int Total = 0;
+  std::array<int, static_cast<size_t>(Opcode::NumOpcodes)> ByOpcode = {};
+  int FloatMath = 0;
+  int IntMath = 0; ///< Including quarter-rate multiplies.
+  int SharedMem = 0;
+  int GlobalMem = 0;
+  int Control = 0;
+  int Move = 0;
+
+  int count(Opcode Op) const {
+    return ByOpcode[static_cast<size_t>(Op)];
+  }
+  double percent(Opcode Op) const {
+    return Total ? 100.0 * count(Op) / Total : 0.0;
+  }
+  double ffmaPercent() const { return percent(Opcode::FFMA); }
+};
+
+/// Computes the static mix of \p K.
+InstructionMix analyzeInstructionMix(const Kernel &K);
+
+/// The Figure 8 census: how many FFMA instructions have conflict-free,
+/// 2-way-conflicted, or 3-way-conflicted source-register banks.
+struct FfmaConflictCensus {
+  int Ffma = 0;
+  int NoConflict = 0;
+  int TwoWay = 0;
+  int ThreeWay = 0;
+
+  double noConflictPercent() const {
+    return Ffma ? 100.0 * NoConflict / Ffma : 0.0;
+  }
+  double twoWayPercent() const {
+    return Ffma ? 100.0 * TwoWay / Ffma : 0.0;
+  }
+  double threeWayPercent() const {
+    return Ffma ? 100.0 * ThreeWay / Ffma : 0.0;
+  }
+};
+
+/// Runs the census over \p K's static code.
+FfmaConflictCensus analyzeFfmaConflicts(const Kernel &K);
+
+/// Renders a short human-readable report of both analyses.
+std::string renderKernelReport(const Kernel &K);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ANALYSIS_BINARYANALYSIS_H

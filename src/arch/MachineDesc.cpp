@@ -1,0 +1,223 @@
+//===- arch/MachineDesc.cpp - GPU machine descriptions --------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineDesc.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace gpuperf;
+
+const char *gpuperf::generationName(GpuGeneration Gen) {
+  switch (Gen) {
+  case GpuGeneration::GT200:
+    return "GT200";
+  case GpuGeneration::Fermi:
+    return "Fermi";
+  case GpuGeneration::Kepler:
+    return "Kepler";
+  }
+  return "unknown";
+}
+
+double MachineDesc::theoreticalPeakGflops() const {
+  return FlopsPerSPPerCycle * SPsPerSM * NumSMs * ShaderClockMHz / 1000.0;
+}
+
+static MachineDesc makeGT200() {
+  MachineDesc M;
+  M.Name = "GTX280";
+  M.ChipName = "GT200";
+  M.Generation = GpuGeneration::GT200;
+  M.CoreClockMHz = 602;
+  M.ShaderClockMHz = 1296;
+  M.GlobalMemBandwidthGBs = 141.7;
+  M.NumSMs = 30;
+  M.WarpSchedulersPerSM = 1;
+  M.DispatchUnitsPerSM = 1;
+  M.SPsPerSM = 8;
+  M.LdStUnitsPerSM = 0; // Undocumented for GT200.
+  M.SharedMemBytesPerSM = 16 * 1024;
+  M.RegistersPerSM = 16 * 1024;
+  M.MaxRegsPerThread = 127;
+  M.FlopsPerSPPerCycle = 3; // MAD + MUL dual issue.
+  M.MaxThreadsPerBlock = 512;
+  M.MaxThreadsPerSM = 1024;
+  M.MaxBlocksPerSM = 8;
+  M.SharedMemBanks = 16;
+  M.SharedMemBankBytes = 4;
+  // The GT200 scheduler issues one warp instruction per core cycle = 16
+  // thread instructions per shader cycle; SPs process 8 per shader cycle.
+  M.MathIssueSlotsPerCycle = 16;
+  M.RepeatedOperandPeak = 16;
+  M.LdsThroughput32 = 8;
+  M.LdsThroughput64 = 4;
+  M.LdsThroughput128 = 2;
+  M.MathLatency = 24;
+  M.SharedMemLatency = 36;
+  M.GlobalMemLatency = 550;
+  return M;
+}
+
+static MachineDesc makeGTX580() {
+  MachineDesc M;
+  M.Name = "GTX580";
+  M.ChipName = "GF110";
+  M.Generation = GpuGeneration::Fermi;
+  M.CoreClockMHz = 772;
+  M.ShaderClockMHz = 1544;
+  M.GlobalMemBandwidthGBs = 192.4;
+  M.NumSMs = 16;
+  M.WarpSchedulersPerSM = 2;
+  M.DispatchUnitsPerSM = 2;
+  M.SPsPerSM = 32;
+  M.LdStUnitsPerSM = 16;
+  M.SharedMemBytesPerSM = 48 * 1024;
+  M.RegistersPerSM = 32 * 1024;
+  M.MaxRegsPerThread = 63;
+  M.MaxThreadsPerBlock = 1024;
+  M.MaxThreadsPerSM = 1536;
+  M.MaxBlocksPerSM = 8;
+  M.SharedMemBanks = 32;
+  M.SharedMemBankBytes = 4;
+  M.RegisterFileBanks = 0; // Operand collector hides banking on Fermi.
+  // 2 schedulers x 1 warp instruction per shader cycle = 64 issue slots,
+  // but the SPs bound the *math* path at 32 thread insts/cycle; the issue
+  // surplus is what lets LDS instructions ride along (Section 4.2).
+  M.MathIssueSlotsPerCycle = 32;
+  M.RepeatedOperandPeak = 32;
+  M.AccumTurnaroundSlots = 0.0;
+  // Section 4.1: LDS peaks at 16 32-bit ops/cycle/SM; LDS.64 does not
+  // increase data throughput; LDS.128 implies a 2-way bank conflict and
+  // only reaches 2 thread instructions per cycle.
+  M.LdsThroughput32 = 16;
+  M.LdsThroughput64 = 8;
+  M.LdsThroughput128 = 2;
+  M.Lds128Penalized = true;
+  M.MathLatency = 18;
+  M.SharedMemLatency = 26;
+  M.GlobalMemLatency = 400;
+  M.MaxGlobalInflightPerSM = 64;
+  return M;
+}
+
+static MachineDesc makeGTX680() {
+  MachineDesc M;
+  M.Name = "GTX680";
+  M.ChipName = "GK104";
+  M.Generation = GpuGeneration::Kepler;
+  M.CoreClockMHz = 1006;
+  M.ShaderClockMHz = 1006; // Single clock domain on Kepler.
+  M.GlobalMemBandwidthGBs = 192.26;
+  M.NumSMs = 8;
+  M.WarpSchedulersPerSM = 4;
+  M.DispatchUnitsPerSM = 8;
+  M.SPsPerSM = 192;
+  M.LdStUnitsPerSM = 32;
+  M.SharedMemBytesPerSM = 48 * 1024;
+  M.RegistersPerSM = 64 * 1024;
+  M.MaxRegsPerThread = 63;
+  M.MaxThreadsPerBlock = 1024;
+  M.MaxThreadsPerSM = 2048;
+  M.MaxBlocksPerSM = 16;
+  M.SharedMemBanks = 32;
+  M.SharedMemBankBytes = 8;
+  M.RegisterFileBanks = 4; // even0/even1/odd0/odd1 (Section 3.3).
+  // Section 3.3: the schedulers sustain only ~132 useful math thread
+  // instructions per cycle (vs 192 SPs); repeated-source structures can
+  // approach 178.
+  M.MathIssueSlotsPerCycle = 132;
+  M.RepeatedOperandPeak = 178;
+  M.QuarterRateSlots = 132.0 / 33.2;
+  M.AccumTurnaroundSlots = 132.0 / 128.7 - 1.0; // ~= 0.0256
+  // Section 4.1: 33.1 64-bit LDS operations per cycle; 32-bit LDS halves
+  // the data throughput at the same instruction rate; aligned LDS.128 is
+  // not penalized (half instruction rate, same data rate).
+  M.LdsThroughput32 = 33.1;
+  M.LdsThroughput64 = 33.1;
+  M.LdsThroughput128 = 16.55;
+  M.Lds128Penalized = false;
+  M.MathLatency = 9;
+  M.SharedMemLatency = 33;
+  M.GlobalMemLatency = 300;
+  M.MaxGlobalInflightPerSM = 128;
+  return M;
+}
+
+const MachineDesc &gpuperf::gt200() {
+  static const MachineDesc M = makeGT200();
+  return M;
+}
+
+const MachineDesc &gpuperf::gtx580() {
+  static const MachineDesc M = makeGTX580();
+  return M;
+}
+
+static MachineDesc makeK20X() {
+  MachineDesc M;
+  M.Name = "K20X";
+  M.ChipName = "GK110";
+  M.Generation = GpuGeneration::Kepler;
+  M.CoreClockMHz = 732;
+  M.ShaderClockMHz = 732;
+  M.GlobalMemBandwidthGBs = 249.6;
+  M.NumSMs = 14;
+  M.WarpSchedulersPerSM = 4;
+  M.DispatchUnitsPerSM = 8;
+  M.SPsPerSM = 192;
+  M.LdStUnitsPerSM = 32;
+  M.SharedMemBytesPerSM = 48 * 1024;
+  M.RegistersPerSM = 64 * 1024;
+  M.MaxRegsPerThread = 255; // The GK110 ISA's wider register fields.
+  M.MaxThreadsPerBlock = 1024;
+  M.MaxThreadsPerSM = 2048;
+  M.MaxBlocksPerSM = 16;
+  M.SharedMemBanks = 32;
+  M.SharedMemBankBytes = 8;
+  M.RegisterFileBanks = 4;
+  // Projection: GK110's schedulers sustain a higher useful issue rate
+  // than GK104's 132 (NVIDIA documents ~73% SGEMM efficiency, which
+  // requires roughly 160 thread instructions per cycle at a ~92% FFMA
+  // mix).
+  M.MathIssueSlotsPerCycle = 160;
+  M.RepeatedOperandPeak = 192;
+  M.QuarterRateSlots = 160.0 / 40.0;
+  M.AccumTurnaroundSlots = 0.02;
+  M.LdsThroughput32 = 33.1;
+  M.LdsThroughput64 = 33.1;
+  M.LdsThroughput128 = 16.55;
+  M.MathLatency = 9;
+  M.SharedMemLatency = 33;
+  M.GlobalMemLatency = 300;
+  M.MaxGlobalInflightPerSM = 128;
+  return M;
+}
+
+const MachineDesc &gpuperf::gtx680() {
+  static const MachineDesc M = makeGTX680();
+  return M;
+}
+
+const MachineDesc &gpuperf::teslaK20X() {
+  static const MachineDesc M = makeK20X();
+  return M;
+}
+
+const MachineDesc *gpuperf::findMachine(const std::string &Name) {
+  std::string Upper = Name;
+  std::transform(Upper.begin(), Upper.end(), Upper.begin(),
+                 [](unsigned char C) { return std::toupper(C); });
+  if (Upper == "GTX280" || Upper == "GT200")
+    return &gt200();
+  if (Upper == "GTX580" || Upper == "GF110" || Upper == "FERMI")
+    return &gtx580();
+  if (Upper == "GTX680" || Upper == "GK104" || Upper == "KEPLER")
+    return &gtx680();
+  if (Upper == "K20X" || Upper == "GK110")
+    return &teslaK20X();
+  return nullptr;
+}

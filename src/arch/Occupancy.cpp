@@ -1,0 +1,74 @@
+//===- arch/Occupancy.cpp - active-thread/occupancy calculator ------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Occupancy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+
+using namespace gpuperf;
+
+const char *gpuperf::occupancyLimitName(OccupancyLimit Limit) {
+  switch (Limit) {
+  case OccupancyLimit::Registers:
+    return "registers";
+  case OccupancyLimit::SharedMemory:
+    return "shared memory";
+  case OccupancyLimit::ThreadsPerSM:
+    return "max threads per SM";
+  case OccupancyLimit::BlocksPerSM:
+    return "max blocks per SM";
+  case OccupancyLimit::BlockTooLarge:
+    return "block exceeds hardware limits";
+  }
+  return "unknown";
+}
+
+Occupancy gpuperf::computeOccupancy(const MachineDesc &M,
+                                    const KernelResources &Res) {
+  assert(Res.ThreadsPerBlock > 0 && "empty block");
+  Occupancy O;
+
+  if (Res.ThreadsPerBlock > M.MaxThreadsPerBlock ||
+      Res.RegsPerThread > M.MaxRegsPerThread ||
+      Res.SharedBytesPerBlock > M.SharedMemBytesPerSM) {
+    O.Limit = OccupancyLimit::BlockTooLarge;
+    return O;
+  }
+
+  // Equation (1): T_SM * R_T <= R_SM, applied at block granularity.
+  // Unconstrained resources impose no block limit (INT_MAX sentinel).
+  int RegsPerBlock = Res.RegsPerThread * Res.ThreadsPerBlock;
+  int ByRegs =
+      RegsPerBlock > 0 ? M.RegistersPerSM / RegsPerBlock : INT_MAX;
+  // Equation (5): Blk * shared-per-block <= Sh_SM.
+  int ByShared = Res.SharedBytesPerBlock > 0
+                     ? M.SharedMemBytesPerSM / Res.SharedBytesPerBlock
+                     : INT_MAX;
+  int ByThreads = M.MaxThreadsPerSM / Res.ThreadsPerBlock;
+  int ByBlocks = M.MaxBlocksPerSM;
+
+  int Blocks = std::min(std::min(ByRegs, ByShared),
+                        std::min(ByThreads, ByBlocks));
+  if (Blocks <= 0) {
+    O.Limit = OccupancyLimit::BlockTooLarge;
+    return O;
+  }
+
+  O.ActiveBlocks = Blocks;
+  O.ActiveThreads = Blocks * Res.ThreadsPerBlock;
+  O.ActiveWarps = O.ActiveThreads / M.WarpSize;
+  if (Blocks == ByRegs)
+    O.Limit = OccupancyLimit::Registers;
+  else if (Blocks == ByShared)
+    O.Limit = OccupancyLimit::SharedMemory;
+  else if (Blocks == ByThreads)
+    O.Limit = OccupancyLimit::ThreadsPerSM;
+  else
+    O.Limit = OccupancyLimit::BlocksPerSM;
+  return O;
+}

@@ -1,0 +1,57 @@
+//===- arch/Occupancy.h - active-thread/occupancy calculator ----*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes how many blocks/warps/threads of a kernel can be resident on one
+/// SM, per the paper's Equation (1) (register budget), Equation (5) (shared
+/// memory budget), and the hardware residency limits. Used both by the
+/// launcher (to decide residency during simulation) and by the analytical
+/// model (Section 4.3/4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ARCH_OCCUPANCY_H
+#define GPUPERF_ARCH_OCCUPANCY_H
+
+#include "arch/MachineDesc.h"
+
+namespace gpuperf {
+
+/// Per-kernel resource usage relevant to residency.
+struct KernelResources {
+  int RegsPerThread = 0;
+  int SharedBytesPerBlock = 0;
+  int ThreadsPerBlock = 0;
+};
+
+/// What capped the number of resident blocks.
+enum class OccupancyLimit {
+  Registers,
+  SharedMemory,
+  ThreadsPerSM,
+  BlocksPerSM,
+  BlockTooLarge, ///< Not launchable at all.
+};
+
+/// Residency result for one SM.
+struct Occupancy {
+  int ActiveBlocks = 0;
+  int ActiveThreads = 0;
+  int ActiveWarps = 0;
+  OccupancyLimit Limit = OccupancyLimit::BlocksPerSM;
+
+  bool launchable() const { return ActiveBlocks > 0; }
+};
+
+/// Computes SM residency of a kernel with resources \p Res on machine \p M.
+Occupancy computeOccupancy(const MachineDesc &M, const KernelResources &Res);
+
+/// Human-readable limit name for reports.
+const char *occupancyLimitName(OccupancyLimit Limit);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ARCH_OCCUPANCY_H

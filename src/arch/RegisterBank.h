@@ -1,0 +1,78 @@
+//===- arch/RegisterBank.h - Kepler register bank model ---------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 4-bank register file layout the paper reverse-engineered on Kepler
+/// GK104 (Section 3.3): registers reside on banks
+///   even0: idx%8 <  4 && idx%2 == 0      even1: idx%8 >= 4 && idx%2 == 0
+///   odd0:  idx%8 <  4 && idx%2 == 1      odd1:  idx%8 >= 4 && idx%2 == 1
+/// FFMA throughput halves when two distinct source registers share a bank
+/// and drops to a third when all three sources share one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ARCH_REGISTERBANK_H
+#define GPUPERF_ARCH_REGISTERBANK_H
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace gpuperf {
+
+/// The four operand-collector banks named as in the paper.
+enum class RegBank : uint8_t { Even0 = 0, Even1 = 1, Odd0 = 2, Odd1 = 3 };
+
+/// Number of register banks on Kepler GK104.
+inline constexpr int NumRegBanks = 4;
+
+/// Maps a register index to its bank (Section 3.3 formula).
+inline RegBank registerBank(unsigned RegIndex) {
+  bool Odd = (RegIndex % 2) != 0;
+  bool High = (RegIndex % 8) >= 4;
+  if (!Odd)
+    return High ? RegBank::Even1 : RegBank::Even0;
+  return High ? RegBank::Odd1 : RegBank::Odd0;
+}
+
+/// Bank as a 0..3 index (Even0, Even1, Odd0, Odd1).
+inline int registerBankIndex(unsigned RegIndex) {
+  return static_cast<int>(registerBank(RegIndex));
+}
+
+/// Short name for printing ("E0", "E1", "O0", "O1").
+inline const char *registerBankName(RegBank Bank) {
+  switch (Bank) {
+  case RegBank::Even0:
+    return "E0";
+  case RegBank::Even1:
+    return "E1";
+  case RegBank::Odd0:
+    return "O0";
+  case RegBank::Odd1:
+    return "O1";
+  }
+  return "??";
+}
+
+/// Computes the conflict degree of a set of *distinct* source register
+/// indices: the maximum number of distinct registers mapped to one bank.
+/// 1 means conflict-free; 2 is the paper's "2-way conflict"; etc.
+template <typename Range> int bankConflictDegree(const Range &DistinctRegs) {
+  std::array<int, NumRegBanks> Load = {0, 0, 0, 0};
+  int Max = 0;
+  for (unsigned Reg : DistinctRegs) {
+    int Bank = registerBankIndex(Reg);
+    ++Load[Bank];
+    if (Load[Bank] > Max)
+      Max = Load[Bank];
+  }
+  return Max == 0 ? 1 : Max;
+}
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ARCH_REGISTERBANK_H

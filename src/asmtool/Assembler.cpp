@@ -1,0 +1,873 @@
+//===- asmtool/Assembler.cpp - SASS-like assembly language front end ------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmtool/Assembler.h"
+
+#include "isa/Encoding.h"
+#include "support/Format.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+using namespace gpuperf;
+
+namespace {
+
+// --- Tokenizer --------------------------------------------------------------
+
+enum class TokKind {
+  Ident,    // mnemonics, labels, SR names, annotation letters
+  Reg,      // R0..R62, RZ
+  Pred,     // P0..P3, PT
+  Int,      // unsigned magnitude; sign handled by the parser
+  Comma,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Colon,
+  At,
+  Bang,
+  Plus,
+  Minus,
+  Directive, // .arch, .kernel, ...
+  End,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;
+  int64_t IntValue = 0;
+  int Col = 0;
+};
+
+/// Tokenizes one source line (comments already stripped).
+class LineLexer {
+public:
+  LineLexer(std::string_view Line) : Line(Line) {}
+
+  /// Lexes all tokens; returns false with Error set on bad characters.
+  bool run(std::vector<Token> &Out, std::string &Error) {
+    while (true) {
+      skipSpace();
+      if (Pos >= Line.size())
+        break;
+      Token T;
+      T.Col = static_cast<int>(Pos) + 1;
+      char C = Line[Pos];
+      if (C == ',') {
+        T.Kind = TokKind::Comma;
+        ++Pos;
+      } else if (C == '[') {
+        T.Kind = TokKind::LBracket;
+        ++Pos;
+      } else if (C == ']') {
+        T.Kind = TokKind::RBracket;
+        ++Pos;
+      } else if (C == '{') {
+        T.Kind = TokKind::LBrace;
+        ++Pos;
+      } else if (C == '}') {
+        T.Kind = TokKind::RBrace;
+        ++Pos;
+      } else if (C == ':') {
+        T.Kind = TokKind::Colon;
+        ++Pos;
+      } else if (C == '@') {
+        T.Kind = TokKind::At;
+        ++Pos;
+      } else if (C == '!') {
+        T.Kind = TokKind::Bang;
+        ++Pos;
+      } else if (C == '+') {
+        T.Kind = TokKind::Plus;
+        ++Pos;
+      } else if (C == '-') {
+        T.Kind = TokKind::Minus;
+        ++Pos;
+      } else if (C == '.') {
+        T.Kind = TokKind::Directive;
+        ++Pos;
+        T.Text = lexWord();
+        if (T.Text.empty()) {
+          Error = formatString("column %d: expected directive name", T.Col);
+          return false;
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(C))) {
+        T.Kind = TokKind::Int;
+        if (!lexInt(T.IntValue, Error, T.Col))
+          return false;
+      } else if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        T.Text = lexWord();
+        classifyWord(T);
+      } else {
+        Error = formatString("column %d: unexpected character '%c'",
+                             T.Col, C);
+        return false;
+      }
+      Out.push_back(std::move(T));
+    }
+    Token E;
+    E.Kind = TokKind::End;
+    E.Col = static_cast<int>(Line.size()) + 1;
+    Out.push_back(E);
+    return true;
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Line.size() &&
+           std::isspace(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+  }
+
+  std::string lexWord() {
+    size_t Start = Pos;
+    while (Pos < Line.size()) {
+      char C = Line[Pos];
+      if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '.')
+        ++Pos;
+      else
+        break;
+    }
+    return std::string(Line.substr(Start, Pos - Start));
+  }
+
+  bool lexInt(int64_t &Value, std::string &Error, int Col) {
+    int Base = 10;
+    if (Pos + 1 < Line.size() && Line[Pos] == '0' &&
+        (Line[Pos + 1] == 'x' || Line[Pos + 1] == 'X')) {
+      Base = 16;
+      Pos += 2;
+    }
+    uint64_t Magnitude = 0;
+    size_t Digits = 0;
+    while (Pos < Line.size()) {
+      char C = Line[Pos];
+      int Digit;
+      if (std::isdigit(static_cast<unsigned char>(C)))
+        Digit = C - '0';
+      else if (Base == 16 && std::isxdigit(static_cast<unsigned char>(C)))
+        Digit = std::tolower(C) - 'a' + 10;
+      else
+        break;
+      Magnitude = Magnitude * Base + static_cast<uint64_t>(Digit);
+      if (Magnitude > 0xffffffffull) {
+        Error = formatString("column %d: integer literal too large", Col);
+        return false;
+      }
+      ++Pos;
+      ++Digits;
+    }
+    if (Digits == 0) {
+      Error = formatString("column %d: malformed integer literal", Col);
+      return false;
+    }
+    Value = static_cast<int64_t>(Magnitude);
+    return true;
+  }
+
+  void classifyWord(Token &T) {
+    const std::string &W = T.Text;
+    if (W == "RZ") {
+      T.Kind = TokKind::Reg;
+      T.IntValue = RegRZ;
+      return;
+    }
+    if (W == "PT") {
+      T.Kind = TokKind::Pred;
+      T.IntValue = PredPT;
+      return;
+    }
+    auto AllDigits = [](std::string_view S) {
+      if (S.empty())
+        return false;
+      for (char C : S)
+        if (!std::isdigit(static_cast<unsigned char>(C)))
+          return false;
+      return true;
+    };
+    if (W.size() >= 2 && W[0] == 'R' && AllDigits(W.substr(1))) {
+      long Index = std::stol(W.substr(1));
+      if (Index <= MaxGPRIndex) {
+        T.Kind = TokKind::Reg;
+        T.IntValue = Index;
+        return;
+      }
+    }
+    if (W.size() == 2 && W[0] == 'P' &&
+        std::isdigit(static_cast<unsigned char>(W[1]))) {
+      int Index = W[1] - '0';
+      if (Index < NumPredRegs) {
+        T.Kind = TokKind::Pred;
+        T.IntValue = Index;
+        return;
+      }
+    }
+    T.Kind = TokKind::Ident;
+  }
+
+  std::string_view Line;
+  size_t Pos = 0;
+};
+
+// --- Parser -----------------------------------------------------------------
+
+/// A parsed instruction plus the info needed for later fixups.
+struct PendingInst {
+  Instruction Inst;
+  int Line = 0;
+  std::string BranchTarget; ///< Label name when Op == BRA; may be empty.
+  ControlField Annotation;
+  bool HasAnnotation = false;
+};
+
+struct PendingKernel {
+  std::string Name;
+  int Line = 0;
+  int DeclaredRegs = -1;
+  int SharedBytes = 0;
+  bool WantNotations = false; ///< .notation default (Kepler only).
+  std::vector<PendingInst> Insts;
+  std::map<std::string, int> Labels; ///< label -> instruction index
+};
+
+class Parser {
+public:
+  Expected<Module> run(std::string_view Source) {
+    std::vector<std::string_view> Lines = splitLines(Source);
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      LineNo = static_cast<int>(I) + 1;
+      if (Status S = parseLine(stripComment(Lines[I])); S.failed())
+        return Expected<Module>(S);
+    }
+    if (InKernel)
+      if (Status S = finishKernel(); S.failed())
+        return Expected<Module>(S);
+    if (!SeenArch)
+      return fail("missing .arch directive");
+    return std::move(M);
+  }
+
+private:
+  static std::vector<std::string_view> splitLines(std::string_view Source) {
+    std::vector<std::string_view> Lines;
+    size_t Start = 0;
+    while (Start <= Source.size()) {
+      size_t End = Source.find('\n', Start);
+      if (End == std::string_view::npos) {
+        Lines.push_back(Source.substr(Start));
+        break;
+      }
+      Lines.push_back(Source.substr(Start, End - Start));
+      Start = End + 1;
+    }
+    return Lines;
+  }
+
+  static std::string_view stripComment(std::string_view Line) {
+    size_t Slash = Line.find("//");
+    size_t Hash = Line.find('#');
+    size_t Cut = std::min(Slash, Hash);
+    return Cut == std::string_view::npos ? Line : Line.substr(0, Cut);
+  }
+
+  Status fail(const std::string &Message) const {
+    return Status::error(formatString("line %d: %s", LineNo,
+                                      Message.c_str()));
+  }
+
+  Status parseLine(std::string_view Line) {
+    Toks.clear();
+    Cursor = 0;
+    std::string LexError;
+    LineLexer Lexer(Line);
+    if (!Lexer.run(Toks, LexError))
+      return fail(LexError);
+    if (peek().Kind == TokKind::End)
+      return Status::success();
+
+    if (peek().Kind == TokKind::Directive)
+      return parseDirective();
+
+    if (!InKernel)
+      return fail("instruction or label outside of a .kernel");
+
+    // Label definition: Ident ':'.
+    if (peek().Kind == TokKind::Ident && peekAt(1).Kind == TokKind::Colon) {
+      std::string Name = peek().Text;
+      advance();
+      advance();
+      if (K.Labels.count(Name))
+        return fail(formatString("redefinition of label '%s'",
+                                 Name.c_str()));
+      K.Labels[Name] = static_cast<int>(K.Insts.size());
+      if (peek().Kind == TokKind::End)
+        return Status::success();
+      // Fall through: an instruction may follow the label.
+    }
+    return parseInstruction();
+  }
+
+  // --- Directives -----------------------------------------------------------
+
+  Status parseDirective() {
+    std::string Name = peek().Text;
+    advance();
+    if (Name == "arch") {
+      if (peek().Kind != TokKind::Ident)
+        return fail("expected architecture name after .arch");
+      const MachineDesc *Machine = findMachine(peek().Text);
+      if (!Machine)
+        return fail(formatString("unknown architecture '%s'",
+                                 peek().Text.c_str()));
+      advance();
+      M.Arch = Machine->Generation;
+      SeenArch = true;
+      return expectEnd();
+    }
+    if (Name == "kernel") {
+      if (InKernel)
+        if (Status S = finishKernel(); S.failed())
+          return S;
+      if (peek().Kind != TokKind::Ident)
+        return fail("expected kernel name after .kernel");
+      K = PendingKernel();
+      K.Name = peek().Text;
+      K.Line = LineNo;
+      advance();
+      InKernel = true;
+      return expectEnd();
+    }
+    if (!InKernel)
+      return fail(formatString(".%s outside of a .kernel", Name.c_str()));
+    if (Name == "regs") {
+      int64_t Value = 0;
+      if (Status S = parseIntValue(Value); S.failed())
+        return S;
+      if (Value < 1 || Value > MaxGPRIndex + 1)
+        return fail("register count out of range [1, 63]");
+      K.DeclaredRegs = static_cast<int>(Value);
+      return expectEnd();
+    }
+    if (Name == "shared") {
+      int64_t Value = 0;
+      if (Status S = parseIntValue(Value); S.failed())
+        return S;
+      if (Value < 0 || Value > 48 * 1024)
+        return fail("shared memory size out of range [0, 49152]");
+      K.SharedBytes = static_cast<int>(Value);
+      return expectEnd();
+    }
+    if (Name == "notation") {
+      if (peek().Kind != TokKind::Ident)
+        return fail("expected 'none' or 'default' after .notation");
+      std::string Mode = peek().Text;
+      advance();
+      if (Mode == "none")
+        K.WantNotations = false;
+      else if (Mode == "default")
+        K.WantNotations = true;
+      else
+        return fail(formatString("unknown notation mode '%s'",
+                                 Mode.c_str()));
+      if (K.WantNotations && M.Arch != GpuGeneration::Kepler)
+        return fail("control notations are only valid on Kepler");
+      return expectEnd();
+    }
+    if (Name == "end") {
+      if (Status S = finishKernel(); S.failed())
+        return S;
+      return expectEnd();
+    }
+    return fail(formatString("unknown directive '.%s'", Name.c_str()));
+  }
+
+  Status parseIntValue(int64_t &Value) {
+    bool Neg = false;
+    if (peek().Kind == TokKind::Minus) {
+      Neg = true;
+      advance();
+    }
+    if (peek().Kind != TokKind::Int)
+      return fail("expected integer");
+    Value = Neg ? -peek().IntValue : peek().IntValue;
+    advance();
+    return Status::success();
+  }
+
+  // --- Instructions ----------------------------------------------------------
+
+  Status parseInstruction() {
+    PendingInst P;
+    P.Line = LineNo;
+    Instruction &I = P.Inst;
+
+    // Optional guard: @P0 or @!P0.
+    if (peek().Kind == TokKind::At) {
+      advance();
+      if (peek().Kind == TokKind::Bang) {
+        I.GuardNeg = true;
+        advance();
+      }
+      if (peek().Kind != TokKind::Pred)
+        return fail("expected predicate register after '@'");
+      I.GuardPred = static_cast<uint8_t>(peek().IntValue);
+      advance();
+    }
+
+    if (peek().Kind != TokKind::Ident)
+      return fail("expected instruction mnemonic");
+    std::string Mnemonic = peek().Text;
+    advance();
+
+    if (Status S = resolveMnemonic(Mnemonic, I); S.failed())
+      return S;
+    if (Status S = parseOperands(P); S.failed())
+      return S;
+
+    // Optional Kepler control annotation: {s:N,y,d}.
+    if (peek().Kind == TokKind::LBrace) {
+      if (M.Arch != GpuGeneration::Kepler)
+        return fail("control annotations are only valid on Kepler");
+      if (Status S = parseAnnotation(P); S.failed())
+        return S;
+      K.WantNotations = true;
+    }
+    if (Status S = expectEnd(); S.failed())
+      return S;
+    if (Status S = validate(I); S.failed())
+      return S;
+    K.Insts.push_back(std::move(P));
+    return Status::success();
+  }
+
+  /// Splits "LDS.64" / "ISETP.GE" / "BAR.SYNC" into opcode + suffix.
+  Status resolveMnemonic(const std::string &Mnemonic, Instruction &I) {
+    // Exact match first (covers LOP.AND etc.).
+    Opcode Op = parseOpcodeMnemonic(Mnemonic);
+    if (Op != Opcode::NumOpcodes) {
+      I.Op = Op;
+      return Status::success();
+    }
+    size_t Dot = Mnemonic.rfind('.');
+    if (Dot == std::string::npos)
+      return fail(formatString("unknown mnemonic '%s'", Mnemonic.c_str()));
+    std::string Base = Mnemonic.substr(0, Dot);
+    std::string Suffix = Mnemonic.substr(Dot + 1);
+    Op = parseOpcodeMnemonic(Base);
+    if (Op == Opcode::NumOpcodes)
+      return fail(formatString("unknown mnemonic '%s'", Mnemonic.c_str()));
+    I.Op = Op;
+    const OpcodeInfo &Info = opcodeInfo(Op);
+    if (Suffix == "64" || Suffix == "128") {
+      if (!Info.AllowsWidth)
+        return fail(formatString("'%s' does not accept a width suffix",
+                                 Base.c_str()));
+      I.Width = Suffix == "64" ? MemWidth::B64 : MemWidth::B128;
+      return Status::success();
+    }
+    if (Op == Opcode::BAR && Suffix == "SYNC")
+      return Status::success();
+    if (Op == Opcode::ISETP) {
+      static const char *Names[] = {"LT", "LE", "GT", "GE", "EQ", "NE"};
+      for (int C = 0; C < 6; ++C)
+        if (Suffix == Names[C]) {
+          I.setCmpOp(static_cast<CmpOp>(C));
+          return Status::success();
+        }
+      return fail(formatString("unknown compare suffix '.%s'",
+                               Suffix.c_str()));
+    }
+    return fail(formatString("unknown suffix '.%s' on '%s'",
+                             Suffix.c_str(), Base.c_str()));
+  }
+
+  Status parseOperands(PendingInst &P) {
+    Instruction &I = P.Inst;
+    switch (I.Op) {
+    case Opcode::NOP:
+    case Opcode::BAR:
+    case Opcode::EXIT:
+      return Status::success();
+    case Opcode::BRA:
+      return parseBranch(P);
+    case Opcode::S2R:
+      return parseS2R(I);
+    case Opcode::MOV32I:
+      return parseMov32i(I);
+    case Opcode::LDC:
+      return parseLdc(I);
+    case Opcode::ISETP:
+      return parseIsetp(I);
+    case Opcode::LDS:
+    case Opcode::LD:
+      return parseLoad(I);
+    case Opcode::STS:
+    case Opcode::ST:
+      return parseStore(I);
+    case Opcode::ISCADD:
+      return parseIscadd(I);
+    default:
+      return parseGenericMath(I);
+    }
+  }
+
+  Status expectComma() {
+    if (peek().Kind != TokKind::Comma)
+      return fail("expected ','");
+    advance();
+    return Status::success();
+  }
+
+  Status expectReg(uint8_t &Out) {
+    if (peek().Kind != TokKind::Reg)
+      return fail("expected register operand");
+    Out = static_cast<uint8_t>(peek().IntValue);
+    advance();
+    return Status::success();
+  }
+
+  Status expectImm(int32_t &Out, bool Wide = false) {
+    bool Neg = false;
+    if (peek().Kind == TokKind::Minus) {
+      Neg = true;
+      advance();
+    }
+    if (peek().Kind != TokKind::Int)
+      return fail("expected immediate operand");
+    int64_t Value = Neg ? -peek().IntValue : peek().IntValue;
+    advance();
+    if (Wide) {
+      if (Value < INT32_MIN || Value > static_cast<int64_t>(UINT32_MAX))
+        return fail("immediate out of 32-bit range");
+      Out = static_cast<int32_t>(static_cast<uint32_t>(Value));
+      return Status::success();
+    }
+    if (Value < Imm24Min || Value > Imm24Max)
+      return fail("immediate out of signed 24-bit range");
+    Out = static_cast<int32_t>(Value);
+    return Status::success();
+  }
+
+  Status parseGenericMath(Instruction &I) {
+    const OpcodeInfo &Info = opcodeInfo(I.Op);
+    if (Info.HasDstReg) {
+      if (Status S = expectReg(I.Dst); S.failed())
+        return S;
+    }
+    for (int SrcIdx = 0; SrcIdx < Info.NumSrcRegs; ++SrcIdx) {
+      if (Status S = expectComma(); S.failed())
+        return S;
+      bool ImmHere = (peek().Kind == TokKind::Int ||
+                      peek().Kind == TokKind::Minus);
+      if (ImmHere) {
+        if (SrcIdx != 1 || !Info.AllowsImmediate)
+          return fail("immediate not allowed in this operand position");
+        I.HasImm = true;
+        if (Status S = expectImm(I.Imm); S.failed())
+          return S;
+        continue;
+      }
+      if (Status S = expectReg(I.Src[SrcIdx]); S.failed())
+        return S;
+    }
+    // MOV has one source; other slots stay RZ.
+    return Status::success();
+  }
+
+  Status parseBranch(PendingInst &P) {
+    Instruction &I = P.Inst;
+    I.HasImm = true;
+    if (peek().Kind == TokKind::Ident) {
+      P.BranchTarget = peek().Text;
+      advance();
+      return Status::success();
+    }
+    return expectImm(I.Imm);
+  }
+
+  Status parseS2R(Instruction &I) {
+    if (Status S = expectReg(I.Dst); S.failed())
+      return S;
+    if (Status S = expectComma(); S.failed())
+      return S;
+    if (peek().Kind != TokKind::Ident)
+      return fail("expected special register name");
+    static const SpecialReg All[] = {
+        SpecialReg::TID_X,    SpecialReg::TID_Y,    SpecialReg::CTAID_X,
+        SpecialReg::CTAID_Y,  SpecialReg::NTID_X,   SpecialReg::NTID_Y,
+        SpecialReg::NCTAID_X, SpecialReg::NCTAID_Y,
+    };
+    for (SpecialReg SR : All)
+      if (peek().Text == specialRegName(SR)) {
+        I.setSpecialReg(SR);
+        advance();
+        return Status::success();
+      }
+    return fail(formatString("unknown special register '%s'",
+                             peek().Text.c_str()));
+  }
+
+  Status parseMov32i(Instruction &I) {
+    if (Status S = expectReg(I.Dst); S.failed())
+      return S;
+    if (Status S = expectComma(); S.failed())
+      return S;
+    I.HasImm = true;
+    return expectImm(I.Imm, /*Wide=*/true);
+  }
+
+  Status parseLdc(Instruction &I) {
+    if (Status S = expectReg(I.Dst); S.failed())
+      return S;
+    if (Status S = expectComma(); S.failed())
+      return S;
+    // c[0x10]
+    if (peek().Kind != TokKind::Ident || peek().Text != "c")
+      return fail("expected constant bank reference c[offset]");
+    advance();
+    if (peek().Kind != TokKind::LBracket)
+      return fail("expected '[' after 'c'");
+    advance();
+    I.HasImm = true;
+    if (Status S = expectImm(I.Imm, /*Wide=*/true); S.failed())
+      return S;
+    if (peek().Kind != TokKind::RBracket)
+      return fail("expected ']'");
+    advance();
+    return Status::success();
+  }
+
+  Status parseIsetp(Instruction &I) {
+    if (peek().Kind != TokKind::Pred)
+      return fail("expected destination predicate");
+    if (peek().IntValue >= NumPredRegs)
+      return fail("PT is not a valid ISETP destination");
+    I.Dst = static_cast<uint8_t>(peek().IntValue);
+    advance();
+    if (Status S = expectComma(); S.failed())
+      return S;
+    if (Status S = expectReg(I.Src[0]); S.failed())
+      return S;
+    if (Status S = expectComma(); S.failed())
+      return S;
+    if (peek().Kind == TokKind::Int || peek().Kind == TokKind::Minus) {
+      I.HasImm = true;
+      return expectImm(I.Imm);
+    }
+    return expectReg(I.Src[1]);
+  }
+
+  Status parseAddress(Instruction &I) {
+    if (peek().Kind != TokKind::LBracket)
+      return fail("expected '[' address operand");
+    advance();
+    if (Status S = expectReg(I.Src[0]); S.failed())
+      return S;
+    I.HasImm = true;
+    I.Imm = 0;
+    if (peek().Kind == TokKind::Plus || peek().Kind == TokKind::Minus) {
+      bool Neg = peek().Kind == TokKind::Minus;
+      advance();
+      int32_t Offset = 0;
+      if (Status S = expectImm(Offset); S.failed())
+        return S;
+      I.Imm = Neg ? -Offset : Offset;
+    }
+    if (peek().Kind != TokKind::RBracket)
+      return fail("expected ']'");
+    advance();
+    return Status::success();
+  }
+
+  Status parseLoad(Instruction &I) {
+    if (Status S = expectReg(I.Dst); S.failed())
+      return S;
+    if (Status S = expectComma(); S.failed())
+      return S;
+    return parseAddress(I);
+  }
+
+  Status parseStore(Instruction &I) {
+    if (Status S = parseAddress(I); S.failed())
+      return S;
+    if (Status S = expectComma(); S.failed())
+      return S;
+    return expectReg(I.Src[1]);
+  }
+
+  Status parseIscadd(Instruction &I) {
+    if (Status S = expectReg(I.Dst); S.failed())
+      return S;
+    if (Status S = expectComma(); S.failed())
+      return S;
+    if (Status S = expectReg(I.Src[0]); S.failed())
+      return S;
+    if (Status S = expectComma(); S.failed())
+      return S;
+    if (Status S = expectReg(I.Src[1]); S.failed())
+      return S;
+    if (Status S = expectComma(); S.failed())
+      return S;
+    int32_t Shift = 0;
+    if (Status S = expectImm(Shift); S.failed())
+      return S;
+    if (Shift < 0 || Shift > 7)
+      return fail("ISCADD shift out of range [0, 7]");
+    I.setIscaddShift(Shift);
+    return Status::success();
+  }
+
+  Status parseAnnotation(PendingInst &P) {
+    advance(); // '{'
+    P.HasAnnotation = true;
+    while (peek().Kind != TokKind::RBrace) {
+      if (peek().Kind != TokKind::Ident)
+        return fail("expected annotation key (s, y or d)");
+      std::string Key = peek().Text;
+      advance();
+      if (Key == "s") {
+        if (peek().Kind != TokKind::Colon)
+          return fail("expected ':' after 's'");
+        advance();
+        if (peek().Kind != TokKind::Int || peek().IntValue > 15)
+          return fail("stall count out of range [0, 15]");
+        P.Annotation.StallCycles = static_cast<uint8_t>(peek().IntValue);
+        advance();
+      } else if (Key == "y") {
+        P.Annotation.Yield = true;
+      } else if (Key == "d") {
+        P.Annotation.DualIssue = true;
+      } else {
+        return fail(formatString("unknown annotation key '%s'",
+                                 Key.c_str()));
+      }
+      if (peek().Kind == TokKind::Comma)
+        advance();
+    }
+    advance(); // '}'
+    return Status::success();
+  }
+
+  Status expectEnd() {
+    if (peek().Kind != TokKind::End)
+      return fail(formatString("trailing tokens starting at column %d",
+                               peek().Col));
+    return Status::success();
+  }
+
+  /// Static validity checks beyond what the grammar enforces.
+  Status validate(const Instruction &I) {
+    // Wide accesses: register and offset alignment (Section 5.1's
+    // "alignment restriction of the LDS instruction").
+    if (opcodeInfo(I.Op).AllowsWidth && I.Width != MemWidth::B32) {
+      int Words = memWidthRegs(I.Width);
+      uint8_t DataReg = (I.Op == Opcode::LDS || I.Op == Opcode::LD)
+                            ? I.Dst
+                            : I.Src[1];
+      if (DataReg != RegRZ) {
+        if (DataReg % Words != 0)
+          return fail(formatString(
+              "%s data register R%u must be %d-register aligned",
+              std::string(opcodeMnemonic(I.Op)).c_str(), DataReg, Words));
+        if (DataReg + Words - 1 > MaxGPRIndex)
+          return fail("wide access exceeds the register file");
+      }
+      if (I.Imm % memWidthBytes(I.Width) != 0)
+        return fail(formatString("offset %d not aligned to %d bytes",
+                                 I.Imm, memWidthBytes(I.Width)));
+    }
+    return Status::success();
+  }
+
+  // --- Kernel finalization ----------------------------------------------------
+
+  Status finishKernel() {
+    assert(InKernel && "no kernel in progress");
+    InKernel = false;
+    Kernel Out;
+    Out.Name = K.Name;
+    Out.SharedBytes = K.SharedBytes;
+
+    // Resolve branch targets.
+    for (size_t Idx = 0; Idx < K.Insts.size(); ++Idx) {
+      PendingInst &P = K.Insts[Idx];
+      if (P.Inst.Op == Opcode::BRA && !P.BranchTarget.empty()) {
+        auto It = K.Labels.find(P.BranchTarget);
+        if (It == K.Labels.end())
+          return Status::error(formatString(
+              "line %d: undefined label '%s'", P.Line,
+              P.BranchTarget.c_str()));
+        // Offset is relative to the next instruction.
+        P.Inst.Imm = It->second - static_cast<int>(Idx) - 1;
+      }
+      Out.Code.push_back(P.Inst);
+    }
+
+    // Build control notations from annotations if requested.
+    if (K.WantNotations) {
+      Out.addDefaultNotations();
+      for (size_t Idx = 0; Idx < K.Insts.size(); ++Idx)
+        if (K.Insts[Idx].HasAnnotation)
+          Out.Notations[Idx / NotationGroupSize]
+              .Fields[Idx % NotationGroupSize] = K.Insts[Idx].Annotation;
+    }
+
+    Out.recomputeRegUsage();
+    if (K.DeclaredRegs >= 0) {
+      if (Out.RegsPerThread > K.DeclaredRegs)
+        return Status::error(formatString(
+            "line %d: kernel '%s' uses %d registers but declares %d",
+            K.Line, K.Name.c_str(), Out.RegsPerThread, K.DeclaredRegs));
+      Out.RegsPerThread = K.DeclaredRegs;
+    }
+    if (M.findKernel(Out.Name))
+      return Status::error(formatString(
+          "line %d: duplicate kernel name '%s'", K.Line, K.Name.c_str()));
+    M.Kernels.push_back(std::move(Out));
+    return Status::success();
+  }
+
+  const Token &peek() const { return Toks[Cursor]; }
+  const Token &peekAt(size_t N) const {
+    return Toks[std::min(Cursor + N, Toks.size() - 1)];
+  }
+  void advance() {
+    if (Cursor + 1 < Toks.size())
+      ++Cursor;
+  }
+
+  Module M;
+  PendingKernel K;
+  bool InKernel = false;
+  bool SeenArch = false;
+  int LineNo = 0;
+  std::vector<Token> Toks;
+  size_t Cursor = 0;
+};
+
+} // namespace
+
+Expected<Module> gpuperf::assembleText(std::string_view Source) {
+  Parser P;
+  return P.run(Source);
+}
+
+Expected<Module> gpuperf::assembleKernelBody(GpuGeneration Arch,
+                                             std::string_view Body,
+                                             int SharedBytes) {
+  const char *ArchName = Arch == GpuGeneration::Kepler  ? "GTX680"
+                         : Arch == GpuGeneration::Fermi ? "GTX580"
+                                                        : "GTX280";
+  std::string Source = formatString(".arch %s\n.kernel k\n.shared %d\n",
+                                    ArchName, SharedBytes);
+  Source += Body;
+  Source += "\n.end\n";
+  return assembleText(Source);
+}

@@ -1,0 +1,58 @@
+//===- asmtool/Assembler.h - SASS-like assembly language front end -*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textual assembler: the reproduction's analogue of Asfermi (Section 3
+/// of the paper), which lets kernels be written directly in the native
+/// instruction set, with full control of register allocation, instruction
+/// order, LDS widths, and (on Kepler) the scheduling control notation.
+///
+/// Syntax example:
+/// \code
+///   .arch GTX580
+///   .kernel saxpy
+///   .shared 0
+///     S2R R0, SR_TID.X
+///     MOV32I R1, 0x400
+///   loop:
+///     FFMA R4, R5, R6, R4
+///     IADD R1, R1, -1
+///     ISETP.NE P0, R1, RZ
+///     @P0 BRA loop
+///     EXIT
+///   .end
+/// \endcode
+///
+/// On Kepler, each instruction may carry a control annotation in braces,
+/// e.g. "FFMA R4, R5, R6, R4 {s:2,y,d}" (stall 2 cycles, yield, allow dual
+/// issue); the assembler packs the annotations into the per-7-instruction
+/// control words of the binary format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ASMTOOL_ASSEMBLER_H
+#define GPUPERF_ASMTOOL_ASSEMBLER_H
+
+#include "isa/Module.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace gpuperf {
+
+/// Assembles a complete module source. Error messages carry
+/// "line N: ..." positions.
+Expected<Module> assembleText(std::string_view Source);
+
+/// Convenience: assembles \p Body as the single kernel "k" for \p Arch
+/// with \p SharedBytes of shared memory. Used widely in tests.
+Expected<Module> assembleKernelBody(GpuGeneration Arch,
+                                    std::string_view Body,
+                                    int SharedBytes = 0);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ASMTOOL_ASSEMBLER_H

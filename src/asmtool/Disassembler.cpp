@@ -1,0 +1,85 @@
+//===- asmtool/Disassembler.cpp - binary to assembly text -----------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmtool/Disassembler.h"
+
+#include "support/Format.h"
+
+#include <map>
+
+using namespace gpuperf;
+
+std::string gpuperf::disassembleKernel(const Kernel &K) {
+  // Collect branch targets and assign labels in code order.
+  std::map<int, std::string> Labels;
+  for (size_t Idx = 0; Idx < K.Code.size(); ++Idx) {
+    const Instruction &I = K.Code[Idx];
+    if (I.Op != Opcode::BRA)
+      continue;
+    int Target = static_cast<int>(Idx) + 1 + I.Imm;
+    if (Target >= 0 && Target <= static_cast<int>(K.Code.size()) &&
+        !Labels.count(Target))
+      Labels[Target] = "";
+  }
+  int NextLabel = 0;
+  for (auto &Entry : Labels)
+    Entry.second = formatString("L%d", NextLabel++);
+
+  std::string Out;
+  Out += formatString(".kernel %s\n", K.Name.c_str());
+  Out += formatString(".regs %d\n", K.RegsPerThread);
+  Out += formatString(".shared %d\n", K.SharedBytes);
+  if (K.hasNotations())
+    Out += ".notation default\n";
+
+  for (size_t Idx = 0; Idx < K.Code.size(); ++Idx) {
+    if (auto It = Labels.find(static_cast<int>(Idx)); It != Labels.end())
+      Out += It->second + ":\n";
+    const Instruction &I = K.Code[Idx];
+    std::string Text = I.toString();
+    if (I.Op == Opcode::BRA) {
+      int Target = static_cast<int>(Idx) + 1 + I.Imm;
+      auto It = Labels.find(Target);
+      if (It != Labels.end()) {
+        // Replace the numeric offset with the label.
+        size_t Space = Text.rfind(' ');
+        Text = Text.substr(0, Space + 1) + It->second;
+      }
+    }
+    Out += "  " + Text;
+    if (K.hasNotations()) {
+      const ControlField &F = K.Notations[Idx / NotationGroupSize]
+                                  .Fields[Idx % NotationGroupSize];
+      if (F.StallCycles || F.Yield || F.DualIssue) {
+        std::string Ann;
+        if (F.StallCycles)
+          Ann += formatString("s:%u", F.StallCycles);
+        if (F.Yield)
+          Ann += std::string(Ann.empty() ? "" : ",") + "y";
+        if (F.DualIssue)
+          Ann += std::string(Ann.empty() ? "" : ",") + "d";
+        Out += " {" + Ann + "}";
+      }
+    }
+    Out += '\n';
+  }
+  // A label may point one past the last instruction; anchor it with a NOP.
+  if (auto It = Labels.find(static_cast<int>(K.Code.size()));
+      It != Labels.end())
+    Out += It->second + ":\n  NOP\n";
+  Out += ".end\n";
+  return Out;
+}
+
+std::string gpuperf::disassembleModule(const Module &M) {
+  const char *ArchName = M.Arch == GpuGeneration::Kepler  ? "GTX680"
+                         : M.Arch == GpuGeneration::Fermi ? "GTX580"
+                                                          : "GTX280";
+  std::string Out = formatString(".arch %s\n", ArchName);
+  for (const Kernel &K : M.Kernels)
+    Out += disassembleKernel(K);
+  return Out;
+}

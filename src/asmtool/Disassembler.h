@@ -1,0 +1,32 @@
+//===- asmtool/Disassembler.h - binary to assembly text ---------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders kernels and modules back to assembler syntax. The output
+/// re-assembles to an identical module (round-trip property, covered by
+/// tests), which is what makes binary-level studies like the paper's
+/// Figure 8 census of MAGMA binaries practical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ASMTOOL_DISASSEMBLER_H
+#define GPUPERF_ASMTOOL_DISASSEMBLER_H
+
+#include "isa/Module.h"
+
+#include <string>
+
+namespace gpuperf {
+
+/// Disassembles one kernel (without the .arch header).
+std::string disassembleKernel(const Kernel &K);
+
+/// Disassembles a whole module including the .arch directive.
+std::string disassembleModule(const Module &M);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ASMTOOL_DISASSEMBLER_H

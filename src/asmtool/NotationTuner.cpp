@@ -1,0 +1,181 @@
+//===- asmtool/NotationTuner.cpp - Kepler control-notation generation -----===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmtool/NotationTuner.h"
+
+#include <algorithm>
+#include <array>
+
+using namespace gpuperf;
+
+NotationQuality gpuperf::parseNotationQuality(const std::string &Name) {
+  if (Name == "none")
+    return NotationQuality::None;
+  if (Name == "tuned")
+    return NotationQuality::Tuned;
+  return NotationQuality::Heuristic;
+}
+
+const char *gpuperf::notationQualityName(NotationQuality Q) {
+  switch (Q) {
+  case NotationQuality::None:
+    return "none";
+  case NotationQuality::Heuristic:
+    return "heuristic";
+  case NotationQuality::Tuned:
+    return "tuned";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True when \p B reads or overwrites a register/predicate written by
+/// \p A (i.e. B must not pair with A in the same cycle).
+bool dependsOn(const Instruction &A, const Instruction &B) {
+  RegList AWrites = A.destRegs();
+  for (uint8_t Reg : B.sourceRegs())
+    if (AWrites.contains(Reg))
+      return true;
+  for (uint8_t Reg : B.destRegs())
+    if (AWrites.contains(Reg))
+      return true;
+  if (A.writesPredicate()) {
+    if (B.GuardPred == A.Dst)
+      return true;
+    if (B.writesPredicate() && B.Dst == A.Dst)
+      return true;
+  }
+  return false;
+}
+
+bool isLongLatency(const Instruction &I) {
+  OpClass Class = opcodeInfo(I.Op).Class;
+  return Class == OpClass::SharedMem || Class == OpClass::GlobalMem;
+}
+
+void setField(Kernel &K, size_t Idx, ControlField F) {
+  K.Notations[Idx / NotationGroupSize].Fields[Idx % NotationGroupSize] = F;
+}
+
+/// Per-opcode defaults: the paper's "same notation for the same kind of
+/// instruction" compromise.
+void applyHeuristic(Kernel &K) {
+  for (size_t Idx = 0; Idx < K.Code.size(); ++Idx) {
+    const Instruction &I = K.Code[Idx];
+    ControlField F;
+    switch (opcodeInfo(I.Op).Class) {
+    case OpClass::FloatMath:
+    case OpClass::IntMath:
+    case OpClass::IntMulMath:
+    case OpClass::Move:
+      F.DualIssue = true;
+      break;
+    case OpClass::SharedMem:
+    case OpClass::GlobalMem:
+      // The yield encoding is part of what the paper could not decrypt;
+      // memory waits under heuristic notations eat scheduler replays.
+      break;
+    case OpClass::Control:
+      F.StallCycles = 1;
+      break;
+    }
+    setField(K, Idx, F);
+  }
+}
+
+/// Dependence-aware notation: model in-order issue at one instruction per
+/// cycle, insert stalls so short (math) latencies are covered and yields
+/// where long (memory) results are consumed.
+void applyTuned(const MachineDesc &M, Kernel &K) {
+  const size_t N = K.Code.size();
+  // WriterIdx[r]: last instruction index writing register r (-1 none).
+  std::array<int, 64> WriterIdx;
+  WriterIdx.fill(-1);
+  std::array<int, NumPredRegs> PredWriter;
+  PredWriter.fill(-1);
+
+  // Virtual issue time of each instruction under 1-per-cycle issue plus
+  // the stalls chosen so far.
+  std::vector<uint64_t> Time(N, 0);
+  std::vector<ControlField> Fields(N);
+  uint64_t Now = 0;
+
+  for (size_t Idx = 0; Idx < N; ++Idx) {
+    const Instruction &I = K.Code[Idx];
+    // Earliest time operands of a *math* producer are ready.
+    uint64_t NeedTime = Now;
+    bool WaitsOnMemory = false;
+    auto ConsiderProducer = [&](int Producer) {
+      if (Producer < 0)
+        return;
+      const Instruction &P = K.Code[Producer];
+      if (isLongLatency(P)) {
+        WaitsOnMemory = true;
+        return;
+      }
+      NeedTime = std::max(
+          NeedTime, Time[Producer] +
+                        static_cast<uint64_t>(M.MathLatency));
+    };
+    for (uint8_t Reg : I.sourceRegs())
+      ConsiderProducer(WriterIdx[Reg]);
+    for (uint8_t Reg : I.destRegs())
+      ConsiderProducer(WriterIdx[Reg]);
+    if (I.GuardPred != PredPT)
+      ConsiderProducer(PredWriter[I.GuardPred]);
+
+    if (WaitsOnMemory && Idx > 0)
+      Fields[Idx - 1].Yield = true; // Penalty-free scoreboard wait.
+    if (NeedTime > Now && Idx > 0) {
+      uint64_t Deficit = NeedTime - Now;
+      uint8_t Stall = static_cast<uint8_t>(std::min<uint64_t>(Deficit, 15));
+      Fields[Idx - 1].StallCycles =
+          std::max(Fields[Idx - 1].StallCycles, Stall);
+      Fields[Idx - 1].DualIssue = false;
+      Now += Stall;
+    }
+
+    Time[Idx] = Now;
+    Now += 1;
+
+    // Dual-issue hint: next instruction independent and this one stall-free.
+    if (Idx + 1 < N && Fields[Idx].StallCycles == 0 &&
+        !dependsOn(I, K.Code[Idx + 1]) &&
+        opcodeInfo(I.Op).Class != OpClass::Control)
+      Fields[Idx].DualIssue = true;
+
+    for (uint8_t Reg : I.destRegs())
+      WriterIdx[Reg] = static_cast<int>(Idx);
+    if (I.writesPredicate())
+      PredWriter[I.Dst] = static_cast<int>(Idx);
+    // Control flow: be conservative across join points.
+    if (I.Op == Opcode::BRA || I.Op == Opcode::BAR) {
+      WriterIdx.fill(-1);
+      PredWriter.fill(-1);
+    }
+  }
+
+  for (size_t Idx = 0; Idx < N; ++Idx)
+    setField(K, Idx, Fields[Idx]);
+}
+
+} // namespace
+
+void gpuperf::tuneNotations(const MachineDesc &M, Kernel &K,
+                            NotationQuality Q) {
+  if (M.Generation != GpuGeneration::Kepler)
+    return;
+  if (Q == NotationQuality::None) {
+    K.Notations.clear();
+    return;
+  }
+  K.addDefaultNotations();
+  if (Q == NotationQuality::Heuristic)
+    applyHeuristic(K);
+  else
+    applyTuned(M, K);
+}

@@ -1,0 +1,46 @@
+//===- asmtool/NotationTuner.h - Kepler control-notation generation -*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the Kepler scheduling control words for a kernel. The paper
+/// (Section 3.2) could not fully decrypt nvcc's encoding and used "the same
+/// control notation for the same kind of instructions"; this tuner models
+/// the three levels of knowledge:
+///
+///  * None      -- no control words at all: the simulated scheduler falls
+///                 back to a conservative slow path ("the performance is
+///                 very poor").
+///  * Heuristic -- per-opcode defaults, the paper's compromise: math
+///                 instructions are marked dual-issueable with no stall;
+///                 memory instructions get the yield flag. Dependences the
+///                 notation does not cover cost scheduler replays.
+///  * Tuned     -- dependence-aware (what nvcc emits): stalls cover short
+///                 math latencies, yields cover long memory waits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ASMTOOL_NOTATIONTUNER_H
+#define GPUPERF_ASMTOOL_NOTATIONTUNER_H
+
+#include "arch/MachineDesc.h"
+#include "isa/Module.h"
+
+namespace gpuperf {
+
+/// How much scheduling knowledge goes into the control words.
+enum class NotationQuality { None, Heuristic, Tuned };
+
+/// Parses "none"/"heuristic"/"tuned"; returns Heuristic on junk.
+NotationQuality parseNotationQuality(const std::string &Name);
+const char *notationQualityName(NotationQuality Q);
+
+/// Rewrites \p K's control notations at the given quality for machine
+/// \p M. A no-op on non-Kepler machines.
+void tuneNotations(const MachineDesc &M, Kernel &K, NotationQuality Q);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ASMTOOL_NOTATIONTUNER_H

@@ -1,0 +1,43 @@
+//===- isa/ControlNotation.cpp - Kepler scheduling control words ----------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/ControlNotation.h"
+
+using namespace gpuperf;
+
+// Word layout: [3:0] = 0x7, [59:4] = seven 8-bit fields, [63:60] = 0x2.
+// Field layout: [3:0] stall, [4] yield, [5] dual issue, [7:6] reserved.
+
+bool ControlNotation::isControlWord(uint64_t Word) {
+  return (Word & 0xf) == 0x7 && (Word >> 60) == 0x2;
+}
+
+uint64_t ControlNotation::pack() const {
+  uint64_t Word = 0x7;
+  Word |= static_cast<uint64_t>(0x2) << 60;
+  for (int I = 0; I < NotationGroupSize; ++I) {
+    const ControlField &F = Fields[I];
+    uint64_t Byte = (F.StallCycles & 0xf) |
+                    (static_cast<uint64_t>(F.Yield ? 1 : 0) << 4) |
+                    (static_cast<uint64_t>(F.DualIssue ? 1 : 0) << 5);
+    Word |= Byte << (4 + 8 * I);
+  }
+  return Word;
+}
+
+Expected<ControlNotation> ControlNotation::unpack(uint64_t Word) {
+  if (!isControlWord(Word))
+    return Expected<ControlNotation>::error(
+        "word lacks control-notation identifier nibbles (0x..7 / 0x2..)");
+  ControlNotation N;
+  for (int I = 0; I < NotationGroupSize; ++I) {
+    uint64_t Byte = (Word >> (4 + 8 * I)) & 0xff;
+    N.Fields[I].StallCycles = static_cast<uint8_t>(Byte & 0xf);
+    N.Fields[I].Yield = (Byte >> 4) & 1;
+    N.Fields[I].DualIssue = (Byte >> 5) & 1;
+  }
+  return N;
+}

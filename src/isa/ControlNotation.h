@@ -1,0 +1,72 @@
+//===- isa/ControlNotation.h - Kepler scheduling control words --*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Kepler GK104 "control notation" the paper reverse-engineered in
+/// Section 3.2: a 64-bit scheduling-information word placed before each
+/// group of 7 instructions in the binary, with the format
+/// 0xXXXXXXX7 0x2XXXXXXX (identifier nibbles 0x7 and 0x2) and seven 8-bit
+/// fields, one per following instruction. Similar to the Tera MTA's
+/// explicit-dependence lookahead.
+///
+/// NVIDIA never disclosed the encoding; this reproduction models each field
+/// as {stall cycles, yield flag, dual-issue flag}, which is sufficient to
+/// express the phenomena the paper reports: un-notated code runs very
+/// slowly (the scheduler falls back to conservative stalls), per-opcode
+/// "same notation for the same kind of instruction" is a workable
+/// compromise, and fully dependence-aware notations recover performance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ISA_CONTROLNOTATION_H
+#define GPUPERF_ISA_CONTROLNOTATION_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+
+namespace gpuperf {
+
+/// Number of instructions covered by one control word.
+inline constexpr int NotationGroupSize = 7;
+
+/// Scheduling hint for one instruction.
+struct ControlField {
+  uint8_t StallCycles = 0; ///< Cycles to wait before issuing the next
+                           ///< instruction from this warp (0..15).
+  bool Yield = false;      ///< Prefer switching to another warp.
+  bool DualIssue = false;  ///< May pair with the following instruction.
+
+  bool operator==(const ControlField &O) const {
+    return StallCycles == O.StallCycles && Yield == O.Yield &&
+           DualIssue == O.DualIssue;
+  }
+};
+
+/// One 64-bit control word covering up to 7 instructions.
+struct ControlNotation {
+  ControlField Fields[NotationGroupSize];
+
+  /// Packs into the binary word format (identifier nibbles included).
+  uint64_t pack() const;
+
+  /// Unpacks a control word; fails when identifier nibbles are absent.
+  static Expected<ControlNotation> unpack(uint64_t Word);
+
+  /// True when \p Word carries the 0x7 / 0x2 identifier nibbles.
+  static bool isControlWord(uint64_t Word);
+
+  bool operator==(const ControlNotation &O) const {
+    for (int I = 0; I < NotationGroupSize; ++I)
+      if (!(Fields[I] == O.Fields[I]))
+        return false;
+    return true;
+  }
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ISA_CONTROLNOTATION_H

@@ -1,0 +1,115 @@
+//===- isa/Encoding.cpp - 64-bit binary instruction encoding --------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Encoding.h"
+
+#include "support/Format.h"
+
+using namespace gpuperf;
+
+namespace {
+
+constexpr int OpcodeShift = 58;
+constexpr int WidthShift = 56;
+constexpr int GuardPredShift = 53;
+constexpr int GuardNegShift = 52;
+constexpr int DstShift = 46;
+constexpr int Src0Shift = 40;
+constexpr int Src1Shift = 34;
+constexpr int Src2Shift = 28;
+constexpr int ImmFlagShift = 27;
+constexpr int AuxShift = 24;
+constexpr int Imm32Shift = 8;
+
+constexpr uint64_t Mask6 = 0x3f;
+constexpr uint64_t Mask3 = 0x7;
+constexpr uint64_t Mask2 = 0x3;
+constexpr uint64_t Mask24 = 0xffffff;
+constexpr uint64_t Mask32 = 0xffffffff;
+
+bool usesImm32(Opcode Op) {
+  return Op == Opcode::MOV32I || Op == Opcode::LDC;
+}
+
+} // namespace
+
+uint64_t gpuperf::encodeInstruction(const Instruction &Inst) {
+  assert(Inst.Op < Opcode::NumOpcodes && "invalid opcode");
+  assert(Inst.Dst <= RegRZ && "destination register out of range");
+  assert(Inst.GuardPred <= PredPT && "guard predicate out of range");
+
+  uint64_t Word = 0;
+  Word |= static_cast<uint64_t>(Inst.Op) << OpcodeShift;
+  Word |= (static_cast<uint64_t>(Inst.Width) & Mask2) << WidthShift;
+  Word |= (static_cast<uint64_t>(Inst.GuardPred) & Mask3) << GuardPredShift;
+  Word |= static_cast<uint64_t>(Inst.GuardNeg ? 1 : 0) << GuardNegShift;
+  Word |= (static_cast<uint64_t>(Inst.Dst) & Mask6) << DstShift;
+
+  if (usesImm32(Inst.Op)) {
+    Word |= (static_cast<uint64_t>(static_cast<uint32_t>(Inst.Imm)) &
+             Mask32)
+            << Imm32Shift;
+    return Word;
+  }
+
+  assert(Inst.Src[0] <= RegRZ && Inst.Src[1] <= RegRZ &&
+         Inst.Src[2] <= RegRZ && "source register out of range");
+  assert((!Inst.HasImm || fitsImm24(Inst.Imm)) &&
+         "immediate exceeds 24-bit field");
+
+  Word |= (static_cast<uint64_t>(Inst.Src[0]) & Mask6) << Src0Shift;
+  Word |= (static_cast<uint64_t>(Inst.Src[1]) & Mask6) << Src1Shift;
+  Word |= (static_cast<uint64_t>(Inst.Src[2]) & Mask6) << Src2Shift;
+  Word |= static_cast<uint64_t>(Inst.HasImm ? 1 : 0) << ImmFlagShift;
+  Word |= (static_cast<uint64_t>(Inst.Aux) & Mask3) << AuxShift;
+  Word |= static_cast<uint64_t>(static_cast<uint32_t>(Inst.Imm)) & Mask24;
+  return Word;
+}
+
+Expected<Instruction> gpuperf::decodeInstruction(uint64_t Word) {
+  uint64_t OpField = (Word >> OpcodeShift) & Mask6;
+  if (OpField >= static_cast<uint64_t>(Opcode::NumOpcodes))
+    return Expected<Instruction>::error(
+        formatString("invalid opcode field 0x%llx",
+                     static_cast<unsigned long long>(OpField)));
+
+  Instruction Inst;
+  Inst.Op = static_cast<Opcode>(OpField);
+  uint64_t WidthField = (Word >> WidthShift) & Mask2;
+  if (WidthField > static_cast<uint64_t>(MemWidth::B128))
+    return Expected<Instruction>::error("invalid width field 0x3");
+  Inst.Width = static_cast<MemWidth>(WidthField);
+  Inst.GuardPred = static_cast<uint8_t>((Word >> GuardPredShift) & Mask3);
+  Inst.GuardNeg = ((Word >> GuardNegShift) & 1) != 0;
+  Inst.Dst = static_cast<uint8_t>((Word >> DstShift) & Mask6);
+
+  if (usesImm32(Inst.Op)) {
+    Inst.HasImm = true;
+    Inst.Imm = static_cast<int32_t>(
+        static_cast<uint32_t>((Word >> Imm32Shift) & Mask32));
+    return Inst;
+  }
+
+  Inst.Src[0] = static_cast<uint8_t>((Word >> Src0Shift) & Mask6);
+  Inst.Src[1] = static_cast<uint8_t>((Word >> Src1Shift) & Mask6);
+  Inst.Src[2] = static_cast<uint8_t>((Word >> Src2Shift) & Mask6);
+  Inst.HasImm = ((Word >> ImmFlagShift) & 1) != 0;
+  Inst.Aux = static_cast<uint8_t>((Word >> AuxShift) & Mask3);
+  // Sign-extend the 24-bit immediate.
+  uint32_t Imm = static_cast<uint32_t>(Word & Mask24);
+  if (Imm & 0x800000)
+    Imm |= 0xff000000;
+  Inst.Imm = static_cast<int32_t>(Imm);
+
+  if (Inst.Op == Opcode::ISETP &&
+      Inst.Aux > static_cast<uint8_t>(CmpOp::NE))
+    return Expected<Instruction>::error(
+        formatString("invalid compare op %u in ISETP", Inst.Aux));
+  if (Inst.writesPredicate() && Inst.Dst >= NumPredRegs)
+    return Expected<Instruction>::error(
+        formatString("ISETP destination P%u out of range", Inst.Dst));
+  return Inst;
+}

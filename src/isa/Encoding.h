@@ -1,0 +1,49 @@
+//===- isa/Encoding.h - 64-bit binary instruction encoding -----*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary encoding of instructions into 64-bit words. The layout keeps the
+/// architectural property the paper's Equation (4) rests on: register
+/// operand fields are 6 bits wide, so at most 63 general-purpose registers
+/// (plus RZ) are addressable per thread.
+///
+///   [63:58] opcode     [57:56] width       [55:53] guard pred  [52] neg
+///   [51:46] dst        [45:40] src0        [39:34] src1        [33:28] src2
+///   [27]    imm flag   [26:24] aux         [23:0]  imm24 (signed)
+///
+/// MOV32I and LDC repurpose bits [39:8] as a full 32-bit immediate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ISA_ENCODING_H
+#define GPUPERF_ISA_ENCODING_H
+
+#include "isa/Instruction.h"
+#include "support/Error.h"
+
+#include <cstdint>
+
+namespace gpuperf {
+
+/// Encodes \p Inst into its 64-bit binary word. Asserts on malformed
+/// instructions (programmatic error).
+uint64_t encodeInstruction(const Instruction &Inst);
+
+/// Decodes a 64-bit word; fails on invalid opcodes or field values.
+Expected<Instruction> decodeInstruction(uint64_t Word);
+
+/// Range of the signed 24-bit immediate field.
+inline constexpr int32_t Imm24Min = -(1 << 23);
+inline constexpr int32_t Imm24Max = (1 << 23) - 1;
+
+/// True when \p Value fits the signed 24-bit immediate field.
+inline bool fitsImm24(int32_t Value) {
+  return Value >= Imm24Min && Value <= Imm24Max;
+}
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ISA_ENCODING_H

@@ -1,0 +1,198 @@
+//===- isa/Instruction.h - SASS-like instruction representation -*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory instruction form shared by the assembler, disassembler,
+/// simulator, kernel generators and static analyses. Registers are 6-bit
+/// indices (the Fermi/GK104 encoding property that caps threads at 63
+/// registers, Section 2); R63 is the zero register RZ and P7 the constant
+/// true predicate PT, as on real SASS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ISA_INSTRUCTION_H
+#define GPUPERF_ISA_INSTRUCTION_H
+
+#include "isa/Opcode.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace gpuperf {
+
+/// Memory access width for LDS/STS/LD/ST (the paper's LDS vs LDS.64 vs
+/// LDS.128 distinction, Section 4.1).
+enum class MemWidth : uint8_t { B32 = 0, B64 = 1, B128 = 2 };
+
+/// Access size in bytes.
+inline int memWidthBytes(MemWidth W) { return 4 << static_cast<int>(W); }
+/// Number of consecutive 32-bit registers transferred.
+inline int memWidthRegs(MemWidth W) { return 1 << static_cast<int>(W); }
+/// Suffix string ("", ".64", ".128").
+const char *memWidthSuffix(MemWidth W);
+
+/// Special registers readable via S2R.
+enum class SpecialReg : uint8_t {
+  TID_X = 0,
+  TID_Y,
+  CTAID_X,
+  CTAID_Y,
+  NTID_X,
+  NTID_Y,
+  NCTAID_X,
+  NCTAID_Y,
+};
+const char *specialRegName(SpecialReg SR);
+
+/// Signed integer comparisons for ISETP.
+enum class CmpOp : uint8_t { LT = 0, LE, GT, GE, EQ, NE };
+const char *cmpOpName(CmpOp C);
+
+/// The zero register: reads as 0, writes are discarded.
+inline constexpr uint8_t RegRZ = 63;
+/// The constant-true predicate.
+inline constexpr uint8_t PredPT = 7;
+/// Number of writable predicate registers (P0..P3).
+inline constexpr int NumPredRegs = 4;
+/// Largest architectural register index (R62; R63 is RZ).
+inline constexpr int MaxGPRIndex = 62;
+
+/// A small fixed-capacity register list (an STS.128 reads at most five
+/// registers: the address plus four data words).
+struct RegList {
+  uint8_t Regs[8] = {};
+  int Count = 0;
+
+  void push(uint8_t Reg) {
+    assert(Count < 8 && "register list overflow");
+    Regs[Count++] = Reg;
+  }
+  const uint8_t *begin() const { return Regs; }
+  const uint8_t *end() const { return Regs + Count; }
+  bool contains(uint8_t Reg) const {
+    for (int I = 0; I < Count; ++I)
+      if (Regs[I] == Reg)
+        return true;
+    return false;
+  }
+};
+
+/// One decoded instruction.
+///
+/// Field use by opcode family:
+///  * math ops: Dst, Src[0..2]; HasImm replaces the second scalar source
+///    with the sign-extended 24-bit immediate; ISCADD keeps its shift
+///    amount in Aux.
+///  * ISETP: Dst is the destination *predicate* index, Aux the CmpOp.
+///  * S2R: Aux is the SpecialReg.
+///  * MOV32I / LDC: Imm is a full 32-bit immediate / byte offset.
+///  * LDS/STS/LD/ST: Src[0] is the address base register, Imm the byte
+///    offset; stores read data from Src[1] (widened per Width).
+///  * BRA: Imm is a signed instruction offset relative to the *next*
+///    instruction; the guard predicate steers it.
+struct Instruction {
+  Opcode Op = Opcode::NOP;
+  MemWidth Width = MemWidth::B32;
+  uint8_t GuardPred = PredPT;
+  bool GuardNeg = false;
+  uint8_t Dst = RegRZ;
+  uint8_t Src[3] = {RegRZ, RegRZ, RegRZ};
+  bool HasImm = false;
+  int32_t Imm = 0;
+  uint8_t Aux = 0;
+
+  // --- Typed accessors for the Aux field ---------------------------------
+  CmpOp cmpOp() const { return static_cast<CmpOp>(Aux); }
+  void setCmpOp(CmpOp C) { Aux = static_cast<uint8_t>(C); }
+  SpecialReg specialReg() const { return static_cast<SpecialReg>(Aux); }
+  void setSpecialReg(SpecialReg SR) { Aux = static_cast<uint8_t>(SR); }
+  int iscaddShift() const { return Aux; }
+  void setIscaddShift(int Shift) {
+    assert(Shift >= 0 && Shift <= 7 && "ISCADD shift out of range");
+    Aux = static_cast<uint8_t>(Shift);
+  }
+
+  // --- Semantic queries ---------------------------------------------------
+  /// True when HasImm substitutes the second scalar source operand (as
+  /// opposed to being a memory/branch offset or a full MOV32I immediate).
+  bool immReplacesSrc1() const;
+
+  /// Registers actually read (RZ excluded; stores include all data words).
+  RegList sourceRegs() const;
+  /// Registers written (RZ excluded; wide loads include all data words).
+  RegList destRegs() const;
+
+  /// Number of *source operand slots* that carry a register (used by the
+  /// Kepler repeated-operand fast-path check: slots > distinct registers
+  /// means a read port is shared).
+  int numSourceSlots() const;
+  /// Number of distinct non-RZ registers among the source slots.
+  int numDistinctSourceRegs() const;
+
+  /// True when this instruction writes a predicate (ISETP).
+  bool writesPredicate() const { return Op == Opcode::ISETP; }
+
+  /// True when the destination register is also one of the sources (the
+  /// accumulation pattern "FFMA RA, RB, RC, RA").
+  bool dstIsAlsoSource() const;
+
+  /// Renders assembler syntax, e.g. "@!P0 LDS.64 R8, [R20+0x40]".
+  std::string toString() const;
+};
+
+// --- Convenience constructors used by kernel generators and tests ---------
+
+/// FFMA Rd = Ra * Rb + Rc.
+Instruction makeFFMA(uint8_t Rd, uint8_t Ra, uint8_t Rb, uint8_t Rc);
+/// FADD Rd = Ra + Rb.
+Instruction makeFADD(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+/// FMUL Rd = Ra * Rb.
+Instruction makeFMUL(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+/// IADD Rd = Ra + imm.
+Instruction makeIADDImm(uint8_t Rd, uint8_t Ra, int32_t Imm);
+/// IADD Rd = Ra + Rb.
+Instruction makeIADD(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+/// MOV32I Rd = imm32.
+Instruction makeMOV32I(uint8_t Rd, uint32_t Imm);
+/// MOV Rd = Ra.
+Instruction makeMOV(uint8_t Rd, uint8_t Ra);
+/// S2R Rd = special register.
+Instruction makeS2R(uint8_t Rd, SpecialReg SR);
+/// LDC Rd = param word at byte offset.
+Instruction makeLDC(uint8_t Rd, int32_t ByteOffset);
+/// LDS[.w] Rd = shared[Ra + offset].
+Instruction makeLDS(MemWidth W, uint8_t Rd, uint8_t Ra, int32_t Offset);
+/// STS[.w] shared[Ra + offset] = Rv.
+Instruction makeSTS(MemWidth W, uint8_t Ra, int32_t Offset, uint8_t Rv);
+/// LD[.w] Rd = global[Ra + offset].
+Instruction makeLD(MemWidth W, uint8_t Rd, uint8_t Ra, int32_t Offset);
+/// ST[.w] global[Ra + offset] = Rv.
+Instruction makeST(MemWidth W, uint8_t Ra, int32_t Offset, uint8_t Rv);
+/// ISETP.cmp Pd = Ra cmp Rb.
+Instruction makeISETP(CmpOp C, uint8_t Pd, uint8_t Ra, uint8_t Rb);
+/// BRA by signed instruction offset, guarded by (neg ? !P : P).
+Instruction makeBRA(int32_t Offset, uint8_t Pred = PredPT, bool Neg = false);
+/// BAR.SYNC.
+Instruction makeBAR();
+/// EXIT.
+Instruction makeEXIT();
+/// IMUL Rd = Ra * Rb.
+Instruction makeIMUL(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+/// IMAD Rd = Ra * Rb + Rc.
+Instruction makeIMAD(uint8_t Rd, uint8_t Ra, uint8_t Rb, uint8_t Rc);
+/// IMAD Rd = Ra * imm + Rc.
+Instruction makeIMADImm(uint8_t Rd, uint8_t Ra, int32_t Imm, uint8_t Rc);
+/// SHL Rd = Ra << imm.
+Instruction makeSHLImm(uint8_t Rd, uint8_t Ra, int32_t Imm);
+/// ISCADD Rd = (Ra << shift) + Rb.
+Instruction makeISCADD(uint8_t Rd, uint8_t Ra, uint8_t Rb, int Shift);
+/// LOP.XOR Rd = Ra ^ imm.
+Instruction makeXORImm(uint8_t Rd, uint8_t Ra, int32_t Imm);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ISA_INSTRUCTION_H

@@ -1,0 +1,80 @@
+//===- isa/Module.h - kernels and the binary module format ------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module is the reproduction's analogue of a cubin: a container of
+/// kernels for one architecture, serializable to a binary format. On
+/// Kepler modules, control-notation words are interleaved into the code
+/// stream, one before each group of 7 instructions (Section 3.2 of the
+/// paper); the deserializer strips them back out positionally, exactly as
+/// the paper's patched Asfermi had to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ISA_MODULE_H
+#define GPUPERF_ISA_MODULE_H
+
+#include "arch/MachineDesc.h"
+#include "isa/ControlNotation.h"
+#include "isa/Instruction.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+/// One kernel: code plus its static resource declaration.
+struct Kernel {
+  std::string Name;
+  int RegsPerThread = 0;   ///< Declared register usage (<= 63).
+  int SharedBytes = 0;     ///< Static shared-memory allocation per block.
+  std::vector<Instruction> Code;
+  /// Kepler scheduling hints, one per group of 7 instructions; empty on
+  /// Fermi or for "no notation" Kepler binaries.
+  std::vector<ControlNotation> Notations;
+
+  bool hasNotations() const { return !Notations.empty(); }
+
+  /// Number of control words required to cover the code.
+  size_t requiredNotationCount() const {
+    return (Code.size() + NotationGroupSize - 1) / NotationGroupSize;
+  }
+
+  /// Fills Notations with default (zero) control words.
+  void addDefaultNotations();
+
+  /// Recomputes RegsPerThread as 1 + the highest register index
+  /// referenced (RZ excluded).
+  void recomputeRegUsage();
+};
+
+/// A container of kernels for one architecture.
+struct Module {
+  GpuGeneration Arch = GpuGeneration::Fermi;
+  std::vector<Kernel> Kernels;
+
+  /// Finds a kernel by name; nullptr when absent.
+  const Kernel *findKernel(const std::string &Name) const;
+  Kernel *findKernel(const std::string &Name);
+
+  /// Serializes to the binary module format (magic "GPUB").
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses a binary module; fails on truncation, bad magic, bad encodings
+  /// or misplaced control words.
+  static Expected<Module> deserialize(const std::vector<uint8_t> &Bytes);
+
+  /// Writes the serialized module to \p Path.
+  Status writeToFile(const std::string &Path) const;
+
+  /// Reads and parses a module file.
+  static Expected<Module> readFromFile(const std::string &Path);
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ISA_MODULE_H

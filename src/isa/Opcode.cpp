@@ -1,0 +1,70 @@
+//===- isa/Opcode.cpp - SASS-like opcode definitions ----------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Opcode.h"
+
+#include <array>
+#include <cassert>
+
+using namespace gpuperf;
+
+static constexpr size_t NumOps = static_cast<size_t>(Opcode::NumOpcodes);
+
+// Mnemonic, class, #src regs, has dst, allows imm, allows width.
+static const std::array<OpcodeInfo, NumOps> InfoTable = {{
+    {"NOP", OpClass::Control, 0, false, false, false},
+    {"FFMA", OpClass::FloatMath, 3, true, false, false},
+    {"FADD", OpClass::FloatMath, 2, true, false, false},
+    {"FMUL", OpClass::FloatMath, 2, true, false, false},
+    {"IADD", OpClass::IntMath, 2, true, true, false},
+    {"IMUL", OpClass::IntMulMath, 2, true, true, false},
+    {"IMAD", OpClass::IntMulMath, 3, true, true, false},
+    {"ISCADD", OpClass::IntMath, 2, true, false, false},
+    {"SHL", OpClass::IntMath, 2, true, true, false},
+    {"SHR", OpClass::IntMath, 2, true, true, false},
+    {"LOP.AND", OpClass::IntMath, 2, true, true, false},
+    {"LOP.OR", OpClass::IntMath, 2, true, true, false},
+    {"LOP.XOR", OpClass::IntMath, 2, true, true, false},
+    {"MOV", OpClass::Move, 1, true, false, false},
+    {"MOV32I", OpClass::Move, 0, true, true, false},
+    {"S2R", OpClass::Move, 0, true, false, false},
+    {"LDC", OpClass::Move, 0, true, true, false},
+    {"ISETP", OpClass::IntMath, 2, false, true, false},
+    {"LDS", OpClass::SharedMem, 1, true, true, true},
+    {"STS", OpClass::SharedMem, 2, false, true, true},
+    {"LD", OpClass::GlobalMem, 1, true, true, true},
+    {"ST", OpClass::GlobalMem, 2, false, true, true},
+    {"BRA", OpClass::Control, 0, false, true, false},
+    {"BAR", OpClass::Control, 0, false, false, false},
+    {"EXIT", OpClass::Control, 0, false, false, false},
+}};
+
+const OpcodeInfo &gpuperf::opcodeInfo(Opcode Op) {
+  assert(Op < Opcode::NumOpcodes && "invalid opcode");
+  return InfoTable[static_cast<size_t>(Op)];
+}
+
+std::string_view gpuperf::opcodeMnemonic(Opcode Op) {
+  return opcodeInfo(Op).Mnemonic;
+}
+
+Opcode gpuperf::parseOpcodeMnemonic(std::string_view Text) {
+  for (size_t I = 0; I < NumOps; ++I)
+    if (InfoTable[I].Mnemonic == Text)
+      return static_cast<Opcode>(I);
+  return Opcode::NumOpcodes;
+}
+
+bool gpuperf::isMathOpcode(Opcode Op) {
+  switch (opcodeInfo(Op).Class) {
+  case OpClass::FloatMath:
+  case OpClass::IntMath:
+  case OpClass::IntMulMath:
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,101 @@
+//===- isa/Opcode.h - SASS-like opcode definitions --------------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction opcodes of the SASS-like ISA used throughout the
+/// reproduction. The set covers everything the paper's SGEMM kernels and
+/// microbenchmarks execute: FFMA/FADD/FMUL float math, the quarter-rate
+/// integer multiply family, address arithmetic, shared and global memory
+/// accesses with 32/64/128-bit widths, predicates, barriers and branches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ISA_OPCODE_H
+#define GPUPERF_ISA_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpuperf {
+
+/// Instruction opcodes. Values are the 6-bit encoding field.
+enum class Opcode : uint8_t {
+  NOP = 0,
+  // Single-precision float math (full rate).
+  FFMA,  ///< Rd = Ra * Rb + Rc
+  FADD,  ///< Rd = Ra + Rb
+  FMUL,  ///< Rd = Ra * Rb
+  // Integer math.
+  IADD,   ///< Rd = Ra + Rb/imm (full rate)
+  IMUL,   ///< Rd = Ra * Rb/imm (quarter rate)
+  IMAD,   ///< Rd = Ra * Rb/imm + Rc (quarter rate)
+  ISCADD, ///< Rd = (Ra << shift) + Rb (full rate)
+  SHL,    ///< Rd = Ra << Rb/imm
+  SHR,    ///< Rd = Ra >> Rb/imm (logical)
+  LOP_AND,
+  LOP_OR,
+  LOP_XOR,
+  // Data movement.
+  MOV,    ///< Rd = Ra
+  MOV32I, ///< Rd = imm32
+  S2R,    ///< Rd = special register (tid/ctaid/...)
+  LDC,    ///< Rd = constant/parameter bank word at byte offset imm
+  // Predicate compare.
+  ISETP, ///< Pd = Ra <cmp> Rb/imm (signed)
+  // Shared memory.
+  LDS, ///< Rd[.64/.128] = shared[Ra + imm]
+  STS, ///< shared[Ra + imm] = Rb[.64/.128]
+  // Global memory.
+  LD, ///< Rd[.64/.128] = global[Ra + imm]
+  ST, ///< global[Ra + imm] = Rb[.64/.128]
+  // Control.
+  BRA,  ///< branch by signed instruction offset (guard-predicated)
+  BAR,  ///< block-wide barrier (BAR.SYNC)
+  EXIT, ///< thread exit
+  NumOpcodes
+};
+
+/// Broad functional class, used by the timing model to pick an execution
+/// pipe, and by the analysis to classify "math" vs "auxiliary" instructions.
+enum class OpClass : uint8_t {
+  FloatMath,  ///< SP pipeline, full rate.
+  IntMath,    ///< SP pipeline, full rate.
+  IntMulMath, ///< SP pipeline, quarter rate (IMUL/IMAD).
+  Move,       ///< SP pipeline.
+  SharedMem,  ///< LD/ST pipeline, shared memory.
+  GlobalMem,  ///< LD/ST pipeline, global memory.
+  Control,    ///< Scheduler-internal (BRA/BAR/EXIT/NOP).
+};
+
+/// Static per-opcode properties.
+struct OpcodeInfo {
+  std::string_view Mnemonic;
+  OpClass Class;
+  uint8_t NumSrcRegs;   ///< Register source operand slots (before widths).
+  bool HasDstReg;       ///< Writes a general-purpose register.
+  bool AllowsImmediate; ///< May replace its last scalar source with imm24.
+  bool AllowsWidth;     ///< Accepts .64/.128 suffix (memory ops).
+};
+
+/// Returns the static property record for \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// Mnemonic string ("FFMA", "LOP.AND", ...).
+std::string_view opcodeMnemonic(Opcode Op);
+
+/// Parses a mnemonic (without width/compare suffix); returns NumOpcodes on
+/// failure.
+Opcode parseOpcodeMnemonic(std::string_view Text);
+
+/// True for instructions executed by the SP math pipelines.
+bool isMathOpcode(Opcode Op);
+
+/// True for shared-memory loads (the paper's LDS.X family).
+inline bool isSharedLoad(Opcode Op) { return Op == Opcode::LDS; }
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ISA_OPCODE_H

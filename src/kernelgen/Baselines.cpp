@@ -1,0 +1,70 @@
+//===- kernelgen/Baselines.cpp - named SGEMM implementations --------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernelgen/Baselines.h"
+
+using namespace gpuperf;
+
+const char *gpuperf::sgemmImplName(SgemmImpl Impl) {
+  switch (Impl) {
+  case SgemmImpl::AsmTuned:
+    return "assembly";
+  case SgemmImpl::AsmNaive:
+    return "assembly-naive-regalloc";
+  case SgemmImpl::CublasLike:
+    return "cublas-like";
+  case SgemmImpl::MagmaLike:
+    return "magma-like";
+  }
+  return "?";
+}
+
+SgemmKernelConfig gpuperf::baselineConfig(SgemmImpl Impl,
+                                          const MachineDesc &M,
+                                          GemmVariant Variant, int MSize,
+                                          int NSize, int KSize) {
+  SgemmKernelConfig Cfg;
+  Cfg.Variant = Variant;
+  Cfg.M = MSize;
+  Cfg.N = NSize;
+  Cfg.K = KSize;
+  Cfg.Lda = transA(Variant) ? KSize : MSize;
+  Cfg.Ldb = transB(Variant) ? NSize : KSize;
+  Cfg.Ldc = MSize;
+  Cfg.BR = 6;
+
+  switch (Impl) {
+  case SgemmImpl::AsmTuned:
+    Cfg.LdsWidth = MemWidth::B64;
+    Cfg.RegAlloc = RegAllocKind::BankAware;
+    Cfg.Reorder = true;
+    // Section 3.2: the notation encoding is only partially decrypted, so
+    // the hand-written kernels carry per-opcode compromise notations.
+    Cfg.Notation = NotationQuality::Heuristic;
+    break;
+  case SgemmImpl::AsmNaive:
+    Cfg.LdsWidth = MemWidth::B64;
+    Cfg.RegAlloc = RegAllocKind::Naive;
+    Cfg.Reorder = true;
+    Cfg.Notation = NotationQuality::Heuristic;
+    break;
+  case SgemmImpl::CublasLike:
+    Cfg.LdsWidth = MemWidth::B64;
+    Cfg.RegAlloc = RegAllocKind::Compiler;
+    Cfg.Reorder = false;
+    Cfg.Notation = NotationQuality::Tuned; // nvcc knows the encoding.
+    break;
+  case SgemmImpl::MagmaLike:
+    Cfg.LdsWidth = MemWidth::B32;
+    Cfg.RegAlloc = RegAllocKind::Compiler;
+    Cfg.Reorder = false;
+    Cfg.Notation = NotationQuality::Tuned;
+    // Section 5.5: the MAGMA kernels spill on Kepler.
+    Cfg.EmulateSpills = M.Generation == GpuGeneration::Kepler;
+    break;
+  }
+  return Cfg;
+}

@@ -1,0 +1,47 @@
+//===- kernelgen/Baselines.h - named SGEMM implementations ------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SGEMM implementations the paper compares (Figures 5-8):
+///
+///  * AsmTuned  -- the paper's hand-written assembly: bank-aware register
+///    allocation, LDS.64, instruction reordering; on Kepler only the
+///    partially-decrypted (heuristic) control notations are available.
+///  * AsmNaive  -- the paper's *first* Kepler version (Section 5.4,
+///    ~1100 GFLOPS): same code shape, naive register allocation, hence
+///    68.8% 2-way and 10.6% 3-way FFMA bank conflicts.
+///  * CublasLike -- stands in for CUBLAS 4.1/4.2: compiler-generated code
+///    with nvcc-quality (tuned) scheduling information but compiler
+///    register allocation and 32-bit shared-memory loads.
+///  * MagmaLike -- stands in for the MAGMA library kernels: like
+///    CublasLike, and on Kepler additionally spills registers
+///    (Section 5.5: "the four SGEMM variations of MAGMA ... spill at
+///    least 10 registers").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_KERNELGEN_BASELINES_H
+#define GPUPERF_KERNELGEN_BASELINES_H
+
+#include "kernelgen/SgemmConfig.h"
+
+#include "arch/MachineDesc.h"
+
+namespace gpuperf {
+
+/// The compared SGEMM implementations.
+enum class SgemmImpl { AsmTuned, AsmNaive, CublasLike, MagmaLike };
+
+const char *sgemmImplName(SgemmImpl Impl);
+
+/// Builds the kernel configuration of \p Impl for one problem.
+SgemmKernelConfig baselineConfig(SgemmImpl Impl, const MachineDesc &M,
+                                 GemmVariant Variant, int MSize, int NSize,
+                                 int KSize);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_KERNELGEN_BASELINES_H

@@ -1,0 +1,66 @@
+//===- kernelgen/RegAllocator.h - SGEMM register allocation ----*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register allocation for the generated SGEMM kernels.
+///
+/// The bank-aware allocator implements Section 5.4 / Figure 9: the A
+/// column lives on banks even0/odd0, the B row on even1/odd1, and the
+/// BR x BR accumulator tile is placed so that every FFMA's three sources
+/// sit on three different banks -- removing the 2-way/3-way conflicts
+/// that cost MAGMA ~30% of its FFMAs on Kepler (Figure 8).
+///
+/// The naive allocator assigns registers in simple ascending program
+/// order, reproducing compiler-style allocation and its conflicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_KERNELGEN_REGALLOCATOR_H
+#define GPUPERF_KERNELGEN_REGALLOCATOR_H
+
+#include "kernelgen/SgemmConfig.h"
+#include "support/Error.h"
+
+#include <vector>
+
+namespace gpuperf {
+
+/// The complete register map of a generated SGEMM kernel.
+struct SgemmRegMap {
+  std::vector<uint8_t> Acc; ///< BR*BR accumulators; index i*BR + j.
+  std::vector<uint8_t> A;   ///< BR registers for the A column.
+  uint8_t B[2] = {0, 0};    ///< Aligned pair for the B row (LDS.64).
+  std::vector<uint8_t> Prefetch; ///< Global-prefetch registers.
+
+  // Addressing registers (Section 5.2 items 4-7).
+  uint8_t RLoop = 0; ///< Loop bound / counter.
+  uint8_t RGA = 0;   ///< A panel pointer in global memory.
+  uint8_t RGB = 0;   ///< B panel pointer in global memory.
+  uint8_t RSA = 0;   ///< A store pointer in shared memory.
+  uint8_t RSB = 0;   ///< B store pointer in shared memory.
+  uint8_t RRA = 0;   ///< A read base in shared memory.
+  uint8_t RRB = 0;   ///< B read base in shared memory.
+
+  uint8_t acc(int I, int J) const {
+    return Acc[static_cast<size_t>(I) * A.size() + J];
+  }
+
+  /// 1 + highest register index used.
+  int regsUsed() const;
+};
+
+/// Builds the register map. Fails when the configuration cannot fit the
+/// 63-register limit (a real error for oversized blocking factors).
+Expected<SgemmRegMap> allocateSgemmRegisters(const SgemmKernelConfig &Cfg);
+
+/// Counts how many of the BR*BR FFMA operand triples (A[i], B[j%2],
+/// Acc[i][j]) have a register bank conflict of at least \p Degree.
+/// Used by tests and by the Figure 8 analysis.
+int countTileConflicts(const SgemmRegMap &Map, int Degree);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_KERNELGEN_REGALLOCATOR_H

@@ -1,0 +1,95 @@
+//===- kernelgen/SgemmConfig.h - SGEMM kernel configuration ----*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the generated SGEMM kernels. The generator implements
+/// the paper's blocked algorithm (Figure 1): a TB = 256-thread block
+/// computes a BSh x BSh tile of C (BSh = 16*BR), staging L = 16-deep
+/// panels of A and B through shared memory, with per-thread BR x BR
+/// register blocking and register prefetching of the next panels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_KERNELGEN_SGEMMCONFIG_H
+#define GPUPERF_KERNELGEN_SGEMMCONFIG_H
+
+#include "asmtool/NotationTuner.h"
+#include "isa/Instruction.h"
+
+#include <string>
+
+namespace gpuperf {
+
+/// The four GEMM transpose variants (Section 5's NN/NT/TN/TT).
+enum class GemmVariant { NN, NT, TN, TT };
+
+const char *gemmVariantName(GemmVariant V);
+
+/// True when op(A) = A^T (the first letter is T).
+inline bool transA(GemmVariant V) {
+  return V == GemmVariant::TN || V == GemmVariant::TT;
+}
+/// True when op(B) = B^T (the second letter is T).
+inline bool transB(GemmVariant V) {
+  return V == GemmVariant::NT || V == GemmVariant::TT;
+}
+
+/// Register-allocation strategy for the main-loop operands.
+enum class RegAllocKind {
+  BankAware, ///< The paper's Figure 9 conflict-free mapping.
+  Compiler,  ///< nvcc-style: clean operand pairs, sequential C tile
+             ///< (moderate conflict rate, like Figure 8's MAGMA bars).
+  Naive,     ///< Fully sequential allocation (the paper's "first
+             ///< version", heavy conflicts).
+};
+
+/// Full configuration of one generated kernel.
+struct SgemmKernelConfig {
+  GemmVariant Variant = GemmVariant::NN;
+  /// Problem shape; M and N must be multiples of 16*BR, K of L.
+  int M = 0, N = 0, K = 0;
+  /// Leading dimensions in elements (column-major).
+  int Lda = 0, Ldb = 0, Ldc = 0;
+
+  int BR = 6;  ///< Register blocking factor (2, 4 or 6).
+  int TB = 256;
+  int L = 16;
+
+  MemWidth LdsWidth = MemWidth::B64; ///< B32 or B64 (Section 4.1 choice).
+  RegAllocKind RegAlloc = RegAllocKind::BankAware;
+  bool Reorder = true; ///< Section 5.3 instruction interleaving.
+  NotationQuality Notation = NotationQuality::Heuristic;
+  /// Emulate compiler register spills (Section 5.5's MAGMA-on-Kepler
+  /// behaviour): most prefetch registers live in local memory.
+  bool EmulateSpills = false;
+
+  /// Shared blocking factor BSh = sqrt(TB) * BR.
+  int blockTile() const { return 16 * BR; }
+  /// Padded shared k-slice stride in bytes (+2 words of padding keeps
+  /// LDS.64 alignment and removes store bank conflicts, Section 5.1).
+  int sharedStrideBytes() const { return (blockTile() + 2) * 4; }
+  /// Static shared memory: two panels (A and B) of L padded slices.
+  int sharedBytes() const { return 2 * L * sharedStrideBytes(); }
+  /// Byte offset of the B panel within shared memory.
+  int sharedBOffset() const { return L * sharedStrideBytes(); }
+
+  /// Kernel-parameter constant-bank layout (LDC offsets).
+  enum ParamOffset {
+    ParamA = 0x0,
+    ParamB = 0x4,
+    ParamC = 0x8,
+    ParamAlpha = 0xc,
+    ParamBeta = 0x10,
+    ParamLocal = 0x14, ///< Spill backing store (EmulateSpills only).
+  };
+
+  /// Canonical kernel name, e.g. "sgemm_nn_br6_lds64_bankaware".
+  std::string kernelName() const;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_KERNELGEN_SGEMMCONFIG_H

@@ -1,0 +1,489 @@
+//===- kernelgen/SgemmGenerator.cpp - SGEMM assembly generation -----------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernelgen/SgemmGenerator.h"
+
+#include "isa/Encoding.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace gpuperf;
+
+const char *gpuperf::gemmVariantName(GemmVariant V) {
+  switch (V) {
+  case GemmVariant::NN:
+    return "NN";
+  case GemmVariant::NT:
+    return "NT";
+  case GemmVariant::TN:
+    return "TN";
+  case GemmVariant::TT:
+    return "TT";
+  }
+  return "??";
+}
+
+std::string SgemmKernelConfig::kernelName() const {
+  return formatString(
+      "sgemm_%s_br%d_%s_%s%s", gemmVariantName(Variant), BR,
+      LdsWidth == MemWidth::B64 ? "lds64" : "lds32",
+      RegAlloc == RegAllocKind::BankAware  ? "bankaware"
+      : RegAlloc == RegAllocKind::Compiler ? "compiler"
+                                           : "naive",
+      EmulateSpills ? "_spill" : "");
+}
+
+SgemmLaunchShape gpuperf::sgemmLaunchShape(const SgemmKernelConfig &Cfg) {
+  SgemmLaunchShape S;
+  S.GridX = Cfg.M / Cfg.blockTile();
+  S.GridY = Cfg.N / Cfg.blockTile();
+  S.BlockX = Cfg.TB;
+  return S;
+}
+
+namespace {
+
+/// Code emission context for one kernel.
+class SgemmEmitter {
+public:
+  SgemmEmitter(const MachineDesc &M, const SgemmKernelConfig &Cfg,
+               const SgemmRegMap &Map)
+      : M(M), Cfg(Cfg), Map(Map) {}
+
+  Expected<Kernel> run() {
+    emitPrologue();
+    emitFirstPanel();
+    const int NIter = Cfg.K / Cfg.L;
+    if (NIter > 1) {
+      emitLoopSetup(NIter - 1);
+      int LoopHead = static_cast<int>(Code.size());
+      emitMainIteration(/*Prefetch=*/true);
+      emitLoopBack(LoopHead);
+    }
+    emitMainIteration(/*Prefetch=*/false);
+    emitEpilogue();
+    Code.push_back(makeEXIT());
+
+    Kernel K;
+    K.Name = Cfg.kernelName();
+    K.SharedBytes = Cfg.sharedBytes();
+    K.Code = std::move(Code);
+    K.recomputeRegUsage();
+    tuneNotations(M, K, Cfg.Notation);
+    return K;
+  }
+
+private:
+  // --- Baked constants ------------------------------------------------------
+  int lda4() const { return Cfg.Lda * 4; }
+  int ldb4() const { return Cfg.Ldb * 4; }
+  int ldc4() const { return Cfg.Ldc * 4; }
+  int strideB() const { return Cfg.sharedStrideBytes(); }
+  int bOff() const { return Cfg.sharedBOffset(); }
+  /// Rows of the A panel covered per q-group step (BSh / 32).
+  int rGroups() const { return Cfg.blockTile() / 32; }
+
+  // Each panel uses the thread->element mapping that makes its global
+  // loads coalesced (Section 5.1): when the matrix dimension contiguous
+  // in memory is the tile dimension, lanes sweep it 32-wide ("row-fast");
+  // when the k dimension is contiguous, lanes sweep columns 16-wide
+  // ("column-fast"). The shared-memory layout As[c][r] / Bs[k][j] is the
+  // same either way, so the main loop is identical for all variants.
+
+  /// Global byte offset of the thread's q-th A-panel element relative to
+  /// its base pointer.
+  int aElemOffset(int Q) const {
+    if (transA(Cfg.Variant)) // Column-fast: r = t/16 + 16q, c = t%16.
+      return 16 * Q * lda4();
+    // Row-fast: r = t%32 + 32*(q%RG), c = t/32 + 8*(q/RG).
+    return (Q / rGroups()) * 8 * lda4() + (Q % rGroups()) * 32 * 4;
+  }
+  /// Shared-store byte offset of the q-th A-panel element (As[c][r]).
+  int aStoreOffset(int Q) const {
+    if (transA(Cfg.Variant))
+      return 16 * Q * 4;
+    return (Q / rGroups()) * 8 * strideB() + (Q % rGroups()) * 32 * 4;
+  }
+  /// Global byte offset of the q-th B-panel element.
+  int bElemOffset(int Q) const {
+    if (transB(Cfg.Variant)) // Row-fast: j = t%32 + 32*(q%RG).
+      return (Q / rGroups()) * 8 * ldb4() + (Q % rGroups()) * 32 * 4;
+    // Column-fast: kr = t%16, jc = t/16 + 16q.
+    return 16 * Q * ldb4();
+  }
+  /// Shared-store byte offset of the q-th B-panel element (Bs[k][j]).
+  int bStoreOffset(int Q) const {
+    if (transB(Cfg.Variant))
+      return (Q / rGroups()) * 8 * strideB() + (Q % rGroups()) * 32 * 4;
+    return 16 * Q * 4;
+  }
+  /// Pointer advance per k-panel.
+  int aStep() const {
+    return transA(Cfg.Variant) ? Cfg.L * 4 : Cfg.L * lda4();
+  }
+  int bStep() const {
+    return transB(Cfg.Variant) ? Cfg.L * ldb4() : Cfg.L * 4;
+  }
+
+  /// Scratch register for prologue address math: accumulators (dead
+  /// until zeroed) extended by prefetch registers for small tiles.
+  uint8_t scratch(int Idx) const {
+    if (Idx < static_cast<int>(Map.Acc.size()))
+      return Map.Acc[Idx];
+    return Map.Prefetch[Idx - Map.Acc.size()];
+  }
+
+  // --- Prologue ---------------------------------------------------------------
+  void emitPrologue() {
+    uint8_t T = scratch(0);     // linear thread id
+    uint8_t Bx = scratch(1);    // ctaid.x
+    uint8_t By = scratch(2);    // ctaid.y
+    uint8_t TLow = scratch(3);  // t % 32
+    uint8_t THigh = scratch(4); // t / 32
+    uint8_t Tx = scratch(5);    // t % 16
+    uint8_t Ty = scratch(6);    // t / 16
+    uint8_t Tmp = scratch(7);
+
+    Code.push_back(makeS2R(T, SpecialReg::TID_X));
+    Code.push_back(makeS2R(Bx, SpecialReg::CTAID_X));
+    Code.push_back(makeS2R(By, SpecialReg::CTAID_Y));
+    emitAndImm(TLow, T, 31);
+    emitShrImm(THigh, T, 5);
+    emitAndImm(Tx, T, 15);
+    emitShrImm(Ty, T, 4);
+
+    const int BSh = Cfg.blockTile();
+    // A panel pointer.
+    Code.push_back(makeLDC(Map.RGA, SgemmKernelConfig::ParamA));
+    if (transA(Cfg.Variant)) {
+      // Column-fast: RGA += (BSh*bx + t/16)*lda4 + (t%16)*4.
+      Code.push_back(makeIMADImm(Tmp, Bx, BSh, Ty));
+      Code.push_back(makeIMADImm(Map.RGA, Tmp, lda4(), Map.RGA));
+      Code.push_back(makeISCADD(Map.RGA, Tx, Map.RGA, 2));
+    } else {
+      // Row-fast: RGA += (t/32)*lda4 + (BSh*bx + t%32)*4.
+      Code.push_back(makeIMADImm(Map.RGA, THigh, lda4(), Map.RGA));
+      Code.push_back(makeIMADImm(Tmp, Bx, BSh, TLow));
+      Code.push_back(makeISCADD(Map.RGA, Tmp, Map.RGA, 2));
+    }
+    // B panel pointer.
+    Code.push_back(makeLDC(Map.RGB, SgemmKernelConfig::ParamB));
+    if (transB(Cfg.Variant)) {
+      // Row-fast: RGB += (t/32)*ldb4 + (BSh*by + t%32)*4.
+      Code.push_back(makeIMADImm(Map.RGB, THigh, ldb4(), Map.RGB));
+      Code.push_back(makeIMADImm(Tmp, By, BSh, TLow));
+      Code.push_back(makeISCADD(Map.RGB, Tmp, Map.RGB, 2));
+    } else {
+      // Column-fast: RGB += (BSh*by + t/16)*ldb4 + (t%16)*4.
+      Code.push_back(makeIMADImm(Tmp, By, BSh, Ty));
+      Code.push_back(makeIMADImm(Map.RGB, Tmp, ldb4(), Map.RGB));
+      Code.push_back(makeISCADD(Map.RGB, Tx, Map.RGB, 2));
+    }
+    // Shared-store pointers match the chosen mappings: As[c][r] and
+    // Bs[k][j] with the padded slice stride.
+    if (transA(Cfg.Variant)) {
+      Code.push_back(makeIMADImm(Map.RSA, Tx, strideB(), RegRZ));
+      Code.push_back(makeISCADD(Map.RSA, Ty, Map.RSA, 2));
+    } else {
+      Code.push_back(makeIMADImm(Map.RSA, THigh, strideB(), RegRZ));
+      Code.push_back(makeISCADD(Map.RSA, TLow, Map.RSA, 2));
+    }
+    if (transB(Cfg.Variant)) {
+      Code.push_back(makeIMADImm(Map.RSB, THigh, strideB(), RegRZ));
+      Code.push_back(makeISCADD(Map.RSB, TLow, Map.RSB, 2));
+    } else {
+      Code.push_back(makeIMADImm(Map.RSB, Tx, strideB(), RegRZ));
+      Code.push_back(makeISCADD(Map.RSB, Ty, Map.RSB, 2));
+    }
+    Code.push_back(makeIADDImm(Map.RSB, Map.RSB, bOff()));
+    // Shared-read bases: RRA = tx*BR*4, RRB = bOff + ty*BR*4.
+    Code.push_back(makeIMADImm(Map.RRA, Tx, Cfg.BR * 4, RegRZ));
+    Code.push_back(makeIMADImm(Map.RRB, Ty, Cfg.BR * 4, RegRZ));
+    Code.push_back(makeIADDImm(Map.RRB, Map.RRB, bOff()));
+    // Zero the accumulators (ends the scratch lifetime).
+    for (uint8_t Acc : Map.Acc)
+      Code.push_back(makeMOV32I(Acc, 0));
+  }
+
+  // --- Panel movement ----------------------------------------------------------
+  int prefetchedA() const {
+    return Cfg.EmulateSpills ? Cfg.BR - 1 : Cfg.BR;
+  }
+  int prefetchedB() const {
+    return Cfg.EmulateSpills ? Cfg.BR - 1 : Cfg.BR;
+  }
+  uint8_t pfA(int Q) const { return Map.Prefetch[Q]; }
+  uint8_t pfB(int Q) const { return Map.Prefetch[prefetchedA() + Q]; }
+
+  /// Emits the global loads of the next panel into the prefetch
+  /// registers; returns the instructions rather than appending when
+  /// \p Out is non-null (for interleaving).
+  void emitPrefetchLoads(std::vector<Instruction> *Out) {
+    auto Sink = [&](Instruction I) {
+      if (Out)
+        Out->push_back(I);
+      else
+        Code.push_back(I);
+    };
+    for (int Q = 0; Q < prefetchedA(); ++Q)
+      Sink(makeLD(MemWidth::B32, pfA(Q), Map.RGA, aElemOffset(Q)));
+    for (int Q = 0; Q < prefetchedB(); ++Q)
+      Sink(makeLD(MemWidth::B32, pfB(Q), Map.RGB, bElemOffset(Q)));
+  }
+
+  /// Emits the shared stores of the prefetched panel, plus the "spilled"
+  /// (non-prefetched) elements loaded directly from global memory here --
+  /// the register-shortage effect of Section 5.5's spilled baselines.
+  void emitPanelStores(bool PointersAdvanced) {
+    // Spill-emulation late loads read the *current* panel; compensate
+    // when the panel pointers were already stepped to the next one.
+    int AdjA = PointersAdvanced ? -aStep() : 0;
+    int AdjB = PointersAdvanced ? -bStep() : 0;
+    for (int Q = 0; Q < prefetchedA(); ++Q)
+      Code.push_back(
+          makeSTS(MemWidth::B32, Map.RSA, aStoreOffset(Q), pfA(Q)));
+    for (int Q = 0; Q < prefetchedB(); ++Q)
+      Code.push_back(
+          makeSTS(MemWidth::B32, Map.RSB, bStoreOffset(Q), pfB(Q)));
+    if (Cfg.EmulateSpills) {
+      int QA = Cfg.BR - 1, QB = Cfg.BR - 1;
+      // Late loads expose the full global latency between the barriers.
+      Code.push_back(
+          makeLD(MemWidth::B32, pfA(0), Map.RGA, aElemOffset(QA) + AdjA));
+      Code.push_back(
+          makeLD(MemWidth::B32, pfB(0), Map.RGB, bElemOffset(QB) + AdjB));
+      Code.push_back(
+          makeSTS(MemWidth::B32, Map.RSA, aStoreOffset(QA), pfA(0)));
+      Code.push_back(
+          makeSTS(MemWidth::B32, Map.RSB, bStoreOffset(QB), pfB(0)));
+    }
+  }
+
+  void emitPointerAdvance() {
+    Code.push_back(makeIADDImm(Map.RGA, Map.RGA, aStep()));
+    Code.push_back(makeIADDImm(Map.RGB, Map.RGB, bStep()));
+  }
+
+  void emitFirstPanel() {
+    emitPrefetchLoads(nullptr);
+    emitPanelStores(/*PointersAdvanced=*/false);
+    emitPointerAdvance();
+    Code.push_back(makeBAR());
+  }
+
+  void emitLoopSetup(int Iterations) {
+    Code.push_back(makeMOV32I(Map.RLoop, static_cast<uint32_t>(Iterations)));
+  }
+
+  // --- Main loop -----------------------------------------------------------------
+  /// One k-step: A column loads, then per column-pair B loads + FFMAs.
+  void emitKStep(int K, std::vector<Instruction> *Interleave,
+                 size_t &InterleavePos) {
+    const int Base = K * strideB();
+    auto Drip = [&]() {
+      // Reorder=true drips one interleaved instruction (global prefetch
+      // load) into the stream after each shared load (Section 5.3).
+      if (Interleave && InterleavePos < Interleave->size())
+        Code.push_back((*Interleave)[InterleavePos++]);
+    };
+    // A column.
+    if (Cfg.LdsWidth == MemWidth::B64) {
+      for (int P = 0; P < Cfg.BR / 2; ++P) {
+        Code.push_back(
+            makeLDS(MemWidth::B64, Map.A[2 * P], Map.RRA, Base + 8 * P));
+        Drip();
+      }
+    } else {
+      for (int I = 0; I < Cfg.BR; ++I) {
+        Code.push_back(
+            makeLDS(MemWidth::B32, Map.A[I], Map.RRA, Base + 4 * I));
+        if (I % 2 == 0)
+          Drip();
+      }
+    }
+    // Column pairs.
+    for (int JP = 0; JP < Cfg.BR / 2; ++JP) {
+      if (Cfg.LdsWidth == MemWidth::B64) {
+        Code.push_back(
+            makeLDS(MemWidth::B64, Map.B[0], Map.RRB, Base + 8 * JP));
+      } else {
+        Code.push_back(
+            makeLDS(MemWidth::B32, Map.B[0], Map.RRB, Base + 8 * JP));
+        Code.push_back(
+            makeLDS(MemWidth::B32, Map.B[1], Map.RRB, Base + 8 * JP + 4));
+      }
+      Drip();
+      for (int J = 2 * JP; J < 2 * JP + 2; ++J)
+        for (int I = 0; I < Cfg.BR; ++I)
+          Code.push_back(
+              makeFFMA(Map.acc(I, J), Map.A[I], Map.B[J % 2],
+                       Map.acc(I, J)));
+    }
+  }
+
+  void emitMainIteration(bool Prefetch) {
+    std::vector<Instruction> Interleaved;
+    size_t InterleavePos = 0;
+    if (Prefetch) {
+      if (Cfg.Reorder) {
+        emitPrefetchLoads(&Interleaved);
+      } else {
+        // Unoptimized schedule: everything up front (Section 5.3 is the
+        // contrast experiment).
+        emitPrefetchLoads(nullptr);
+        emitPointerAdvance();
+        Code.push_back(makeIADDImm(Map.RLoop, Map.RLoop, -1));
+      }
+    }
+    for (int K = 0; K < Cfg.L; ++K)
+      emitKStep(K, Cfg.Reorder && Prefetch ? &Interleaved : nullptr,
+                InterleavePos);
+    // Any prefetch loads that did not fit the drip slots.
+    for (; InterleavePos < Interleaved.size(); ++InterleavePos)
+      Code.push_back(Interleaved[InterleavePos]);
+    if (Prefetch) {
+      Code.push_back(makeBAR());
+      emitPanelStores(/*PointersAdvanced=*/!Cfg.Reorder);
+      if (Cfg.Reorder) {
+        // Section 5.3: mix address bookkeeping into the store section.
+        emitPointerAdvance();
+        Code.push_back(makeIADDImm(Map.RLoop, Map.RLoop, -1));
+      }
+      Code.push_back(makeBAR());
+    }
+  }
+
+  void emitLoopBack(int LoopHead) {
+    Code.push_back(makeISETP(CmpOp::NE, 0, Map.RLoop, RegRZ));
+    int Offset = LoopHead - (static_cast<int>(Code.size()) + 1);
+    Code.push_back(makeBRA(Offset, 0, /*Neg=*/false));
+  }
+
+  // --- Epilogue ---------------------------------------------------------------
+  void emitEpilogue() {
+    // Scratch from the prefetch pool (dead after the last panel).
+    uint8_t T = Map.Prefetch[0];
+    // C pointer lives in RGA (panels are done with it).
+    uint8_t RC = Map.RGA;
+    uint8_t Tx = Map.RGB; // Also dead now.
+    uint8_t Ty = Map.RSA;
+    uint8_t Bx = Map.RSB;
+    uint8_t By = Map.RRA;
+    uint8_t Tmp = Map.RRB;
+    const int BSh = Cfg.blockTile();
+
+    Code.push_back(makeS2R(T, SpecialReg::TID_X));
+    Code.push_back(makeS2R(Bx, SpecialReg::CTAID_X));
+    Code.push_back(makeS2R(By, SpecialReg::CTAID_Y));
+    emitAndImm(Tx, T, 15);
+    emitShrImm(Ty, T, 4);
+    Code.push_back(makeLDC(RC, SgemmKernelConfig::ParamC));
+    // Row index: BSh*bx + BR*tx (bytes: <<2).
+    Code.push_back(makeIMADImm(Tmp, Bx, BSh, RegRZ));
+    Code.push_back(makeIMADImm(Tmp, Tx, Cfg.BR, Tmp));
+    Code.push_back(makeISCADD(RC, Tmp, RC, 2));
+    // Column index: (BSh*by + BR*ty) * ldc4.
+    Code.push_back(makeIMADImm(Tmp, By, BSh, RegRZ));
+    Code.push_back(makeIMADImm(Tmp, Ty, Cfg.BR, Tmp));
+    Code.push_back(makeIMADImm(RC, Tmp, ldc4(), RC));
+
+    uint8_t Alpha = Map.Prefetch[Cfg.BR];
+    uint8_t Beta = Map.Prefetch[Cfg.BR + 1];
+    Code.push_back(makeLDC(Alpha, SgemmKernelConfig::ParamAlpha));
+    Code.push_back(makeLDC(Beta, SgemmKernelConfig::ParamBeta));
+
+    for (int J = 0; J < Cfg.BR; ++J) {
+      int ColOff = J * ldc4();
+      for (int I = 0; I < Cfg.BR; ++I)
+        Code.push_back(
+            makeLD(MemWidth::B32, Map.Prefetch[I], RC, ColOff + 4 * I));
+      for (int I = 0; I < Cfg.BR; ++I) {
+        Code.push_back(makeFMUL(Map.Prefetch[I], Map.Prefetch[I], Beta));
+        Code.push_back(makeFFMA(Map.Prefetch[I], Map.acc(I, J), Alpha,
+                                Map.Prefetch[I]));
+      }
+      for (int I = 0; I < Cfg.BR; ++I)
+        Code.push_back(
+            makeST(MemWidth::B32, RC, ColOff + 4 * I, Map.Prefetch[I]));
+    }
+  }
+
+  // --- Small helpers --------------------------------------------------------------
+  void emitAndImm(uint8_t Dst, uint8_t Src, int32_t Imm) {
+    Instruction I;
+    I.Op = Opcode::LOP_AND;
+    I.Dst = Dst;
+    I.Src[0] = Src;
+    I.HasImm = true;
+    I.Imm = Imm;
+    Code.push_back(I);
+  }
+  void emitShrImm(uint8_t Dst, uint8_t Src, int32_t Imm) {
+    Instruction I;
+    I.Op = Opcode::SHR;
+    I.Dst = Dst;
+    I.Src[0] = Src;
+    I.HasImm = true;
+    I.Imm = Imm;
+    Code.push_back(I);
+  }
+
+  const MachineDesc &M;
+  const SgemmKernelConfig &Cfg;
+  const SgemmRegMap &Map;
+  std::vector<Instruction> Code;
+};
+
+} // namespace
+
+Expected<Kernel>
+gpuperf::generateSgemmKernel(const MachineDesc &M,
+                             const SgemmKernelConfig &Cfg) {
+  using EK = Expected<Kernel>;
+  if (Cfg.BR != 2 && Cfg.BR != 4 && Cfg.BR != 6)
+    return EK::error(
+        formatString("unsupported blocking factor %d (use 2, 4 or 6)",
+                     Cfg.BR));
+  if (Cfg.TB != 256 || Cfg.L != 16)
+    return EK::error("the generator is specialized for TB=256, L=16");
+  if (Cfg.M <= 0 || Cfg.N <= 0 || Cfg.K <= 0)
+    return EK::error("matrix sizes must be positive");
+  if (Cfg.M % Cfg.blockTile() != 0 || Cfg.N % Cfg.blockTile() != 0)
+    return EK::error(formatString(
+        "M and N must be multiples of the %d-wide block tile "
+        "(pad the matrices; see SgemmRunner)",
+        Cfg.blockTile()));
+  if (Cfg.K % Cfg.L != 0)
+    return EK::error(
+        formatString("K must be a multiple of the panel depth %d", Cfg.L));
+  if (Cfg.Lda < (transA(Cfg.Variant) ? Cfg.K : Cfg.M) ||
+      Cfg.Ldb < (transB(Cfg.Variant) ? Cfg.N : Cfg.K) ||
+      Cfg.Ldc < Cfg.M)
+    return EK::error("leading dimension smaller than the matrix");
+  if (Cfg.EmulateSpills && Cfg.BR < 4)
+    return EK::error("spill emulation requires a blocking factor >= 4");
+  if (Cfg.LdsWidth == MemWidth::B128)
+    return EK::error(
+        "LDS.128 SGEMM code generation is not supported (BR=6 tiles are "
+        "not quad-aligned); the analytical model covers this width");
+  // Offsets must fit the signed 24-bit immediate field.
+  int64_t MaxOff = static_cast<int64_t>(Cfg.L) *
+                   std::max(Cfg.Lda, std::max(Cfg.Ldb, Cfg.Ldc)) * 4;
+  if (MaxOff > Imm24Max)
+    return EK::error("leading dimensions too large for 24-bit offsets");
+
+  auto Map = allocateSgemmRegisters(Cfg);
+  if (!Map)
+    return EK::error(Map.message());
+  if (Map->regsUsed() > M.MaxRegsPerThread)
+    return EK::error(formatString(
+        "register map needs %d registers, machine allows %d",
+        Map->regsUsed(), M.MaxRegsPerThread));
+
+  SgemmEmitter Emitter(M, Cfg, *Map);
+  return Emitter.run();
+}

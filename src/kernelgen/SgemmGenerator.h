@@ -1,0 +1,50 @@
+//===- kernelgen/SgemmGenerator.h - SGEMM assembly generation --*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates complete SGEMM kernels in the native instruction set,
+/// implementing the paper's Section 5 design: fully-unrolled 16-deep
+/// k-panels with register prefetching of the next panels, LDS.64 shared
+/// memory reads with padding, bank-aware (or deliberately naive) register
+/// allocation, optional instruction reordering, and Kepler control
+/// notations.
+///
+/// The kernel computes the BLAS operation
+///   C := alpha * op(A) * op(B) + beta * C
+/// on column-major matrices whose sizes are baked into the code (leading
+/// dimensions become immediate offsets, which is what keeps the register
+/// budget at exactly 63, Section 5.2); base addresses and alpha/beta are
+/// runtime kernel parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_KERNELGEN_SGEMMGENERATOR_H
+#define GPUPERF_KERNELGEN_SGEMMGENERATOR_H
+
+#include "arch/MachineDesc.h"
+#include "kernelgen/RegAllocator.h"
+#include "kernelgen/SgemmConfig.h"
+
+namespace gpuperf {
+
+/// Generates the kernel for \p Cfg on machine \p M. Fails on invalid
+/// shapes (M/N not multiples of the block tile, K not a multiple of L)
+/// or infeasible register allocations.
+Expected<Kernel> generateSgemmKernel(const MachineDesc &M,
+                                     const SgemmKernelConfig &Cfg);
+
+/// Grid/block dimensions for \p Cfg: one block per BSh x BSh tile of C
+/// (GridX covers M, GridY covers N).
+struct SgemmLaunchShape {
+  int GridX = 0;
+  int GridY = 0;
+  int BlockX = 256;
+};
+SgemmLaunchShape sgemmLaunchShape(const SgemmKernelConfig &Cfg);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_KERNELGEN_SGEMMGENERATOR_H

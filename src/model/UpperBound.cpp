@@ -1,0 +1,151 @@
+//===- model/UpperBound.cpp - SGEMM performance upper-bound model ---------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/UpperBound.h"
+
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gpuperf;
+
+double UpperBoundModel::instructionFactor(MemWidth W) {
+  // LDS.X instructions per k-step are 2*BR*FI: a 32-bit LDS moves one
+  // element, so FI is the reciprocal of elements per instruction.
+  switch (W) {
+  case MemWidth::B32:
+    return 1.0;
+  case MemWidth::B64:
+    return 0.5;
+  case MemWidth::B128:
+    return 0.25;
+  }
+  return 1.0;
+}
+
+double UpperBoundModel::ffmaFraction(int BR, MemWidth W) {
+  assert(BR >= 1 && "blocking factor must be positive");
+  double FI = instructionFactor(W);
+  return BR * BR / (BR * BR + 2.0 * BR * FI);
+}
+
+int UpperBoundModel::maxBlockingFactorLoose(int MaxRegsPerThread) {
+  int BR = 1;
+  while ((BR + 1) * (BR + 1) + (BR + 1) + 1 < MaxRegsPerThread)
+    ++BR;
+  return BR;
+}
+
+bool UpperBoundModel::strideValid(int TB, int BR, int L) {
+  // Equation (3): (sqrt(TB) * BR * L) % TB == 0.
+  uint64_t RootTB = intSqrt(static_cast<uint64_t>(TB));
+  if (RootTB * RootTB != static_cast<uint64_t>(TB))
+    return false;
+  return (RootTB * BR * L) % TB == 0;
+}
+
+RegisterBudget UpperBoundModel::registerBudget(const SgemmModelParams &P) {
+  RegisterBudget B;
+  B.CTile = P.BR * P.BR;
+  uint64_t RootTB = intSqrt(static_cast<uint64_t>(P.TB));
+  // 2 * sqrt(TB) * BR * L / TB (Equation 4's prefetch term).
+  B.Prefetch = static_cast<int>(2 * RootTB * P.BR * P.L /
+                                static_cast<uint64_t>(P.TB));
+  B.ALoad = P.BR;
+  B.BLoad = memWidthRegs(P.LdsWidth);
+  // Section 5.2 items 4-7: A/B global pointers (2), loop bound (1),
+  // A/B shared store pointers (2), A/B shared read pointers (2).
+  B.Addressing = 7;
+  return B;
+}
+
+int UpperBoundModel::maxBlockingFactorStrict(
+    const SgemmModelParams &Base) const {
+  int Best = 0;
+  for (int BR = 1; BR <= 14; ++BR) {
+    SgemmModelParams P = Base;
+    P.BR = BR;
+    if (registerBudget(P).total() <= DB.machine().MaxRegsPerThread)
+      Best = BR;
+  }
+  return Best;
+}
+
+UpperBoundReport UpperBoundModel::analyze(const SgemmModelParams &P) {
+  const MachineDesc &M = DB.machine();
+  UpperBoundReport R;
+  R.Params = P;
+  R.Budget = registerBudget(P);
+  R.Feasible = R.Budget.total() <= M.MaxRegsPerThread &&
+               strideValid(P.TB, P.BR, P.L);
+  R.BSh = static_cast<int>(intSqrt(static_cast<uint64_t>(P.TB))) * P.BR;
+  // Equation (5): both panels (A and B) of one k-slice, 4 bytes/element.
+  R.SharedBytesPerBlock = 2 * R.BSh * P.L * 4;
+
+  KernelResources Res;
+  Res.RegsPerThread = std::min(R.Budget.total(), M.MaxRegsPerThread);
+  Res.SharedBytesPerBlock = R.SharedBytesPerBlock;
+  Res.ThreadsPerBlock = P.TB;
+  R.Occ = computeOccupancy(M, Res);
+  if (!R.Occ.launchable()) {
+    R.Feasible = false;
+    return R;
+  }
+
+  R.FI = instructionFactor(P.LdsWidth);
+  R.FfmaFraction = ffmaFraction(P.BR, P.LdsWidth);
+
+  // FT: measured mixed throughput (Figures 2/4) at the occupancy the
+  // kernel actually reaches, in the SGEMM-like dependent pattern.
+  int Ratio = static_cast<int>(P.BR / (2 * R.FI) + 0.5);
+  // A BR-blocked main loop exposes BR^2 independent accumulators, so its
+  // dependence chains are at least that far apart; the chain count
+  // controls how much occupancy the latency hiding needs (Section 4.3).
+  // An upper bound must not underestimate the kernel's ILP -- the
+  // model-validation bench checks that no implementation exceeds it.
+  int Chains = std::clamp(P.BR * P.BR, 2, 14);
+  R.MixedThroughput =
+      DB.mixThroughput(Ratio, P.LdsWidth, /*Dependent=*/true,
+                       R.Occ.ActiveThreads, Chains, /*Pipelined=*/true);
+  R.FT = R.MixedThroughput / M.spProcessingThroughput();
+
+  double Peak = M.theoreticalPeakGflops();
+  R.PSMBoundGflops = R.FfmaFraction * R.FT * Peak;
+  // Equation (6): flops per global byte = 2*BSh^2 / (2*BSh*4) = BSh/4.
+  R.PMemBoundGflops = M.GlobalMemBandwidthGBs * R.BSh / 4.0;
+  R.PotentialGflops = std::min(R.PSMBoundGflops, R.PMemBoundGflops);
+  R.FractionOfPeak = R.PotentialGflops / Peak;
+  return R;
+}
+
+UpperBoundReport UpperBoundModel::bestForWidth(MemWidth W) {
+  SgemmModelParams Base;
+  Base.LdsWidth = W;
+  UpperBoundReport Best;
+  Best.Feasible = false;
+  for (int BR = 1; BR <= 14; ++BR) {
+    SgemmModelParams P = Base;
+    P.BR = BR;
+    // Choose a valid stride (Equation 3); L in {8, 16, 24, 32}.
+    bool FoundL = false;
+    for (int L : {16, 8, 24, 32}) {
+      P.L = L;
+      if (strideValid(P.TB, P.BR, P.L)) {
+        FoundL = true;
+        break;
+      }
+    }
+    if (!FoundL)
+      continue;
+    UpperBoundReport R = analyze(P);
+    if (!R.Feasible)
+      continue;
+    if (!Best.Feasible || R.PotentialGflops > Best.PotentialGflops)
+      Best = R;
+  }
+  return Best;
+}

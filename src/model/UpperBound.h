@@ -1,0 +1,110 @@
+//===- model/UpperBound.h - SGEMM performance upper-bound model -*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's analytical performance-upper-bound model (Section 4):
+/// starting from the architecture constraints (register file, 63-register
+/// encoding limit, shared memory) and *measured* instruction throughputs
+/// (the ubench PerfDatabase), it derives the highest SGEMM performance any
+/// implementation can reach on the machine -- Equations (1) through (9).
+///
+/// Key quantities:
+///  * FI, the instruction factor: LDS.X instructions per FFMA pair, set by
+///    the LDS width (1 for LDS, 0.5 for LDS.64, 0.25 for LDS.128).
+///  * FFMA fraction of the main loop, BR^2 / (BR^2 + 2*BR*FI) (Figure 3).
+///  * FT, the throughput factor: measured mixed FFMA/LDS.X throughput at
+///    the achievable occupancy over the SP processing throughput.
+///  * PSMBound = ffmaFraction * FT * Ptheoretical      (Equation 8)
+///  * PMemBound = bandwidth * BSh / 4                  (Equation 6)
+///  * Ppotential = min(PSMBound, PMemBound)            (Equation 9)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_MODEL_UPPERBOUND_H
+#define GPUPERF_MODEL_UPPERBOUND_H
+
+#include "arch/Occupancy.h"
+#include "ubench/PerfDatabase.h"
+
+namespace gpuperf {
+
+/// Algorithm parameters of a blocked SGEMM implementation.
+struct SgemmModelParams {
+  int BR = 6;                       ///< Register blocking factor.
+  int TB = 256;                     ///< Threads per block.
+  int L = 16;                       ///< k-panel depth (the stride).
+  MemWidth LdsWidth = MemWidth::B64;
+};
+
+/// The Section 5.2 register-budget breakdown (Equation 4's left side).
+struct RegisterBudget {
+  int CTile = 0;       ///< BR^2 accumulators.
+  int Prefetch = 0;    ///< 2*sqrt(TB)*BR*L / TB global-prefetch registers.
+  int ALoad = 0;       ///< BR registers for the A column.
+  int BLoad = 0;       ///< Width-dependent registers for the B row.
+  int Addressing = 0;  ///< Global/shared pointers + loop bound.
+  int total() const { return CTile + Prefetch + ALoad + BLoad + Addressing; }
+};
+
+/// Everything the analysis produces for one parameter point.
+struct UpperBoundReport {
+  SgemmModelParams Params;
+  bool Feasible = true;       ///< Register budget within the ISA limit.
+  RegisterBudget Budget;
+  int BSh = 0;                ///< Shared blocking factor sqrt(TB)*BR.
+  int SharedBytesPerBlock = 0;
+  Occupancy Occ;              ///< Equation (1)/(5) residency.
+  double FI = 0;
+  double FfmaFraction = 0;
+  double MixedThroughput = 0; ///< Measured thread insts/cycle (FT source).
+  double FT = 0;
+  double PSMBoundGflops = 0;
+  double PMemBoundGflops = 0;
+  double PotentialGflops = 0; ///< Equation (9).
+  double FractionOfPeak = 0;  ///< Potential / theoretical peak.
+};
+
+/// The analysis engine for one machine; throughputs come from a
+/// (lazily-measured) PerfDatabase.
+class UpperBoundModel {
+public:
+  explicit UpperBoundModel(PerfDatabase &DB) : DB(DB) {}
+
+  /// Instruction factor FI for an LDS width (Section 4.5).
+  static double instructionFactor(MemWidth W);
+
+  /// FFMA fraction of the main loop for a blocking factor (Figure 3).
+  static double ffmaFraction(int BR, MemWidth W);
+
+  /// Loose maximum blocking factor from Equation (2):
+  /// BR^2 + BR + 1 < RT <= RMax.
+  static int maxBlockingFactorLoose(int MaxRegsPerThread);
+
+  /// Equation (3): the stride L must let every thread load the same
+  /// amount of panel data.
+  static bool strideValid(int TB, int BR, int L);
+
+  /// Section 5.2 register budget (the strict Equation 4).
+  static RegisterBudget registerBudget(const SgemmModelParams &P);
+
+  /// Largest BR whose strict budget fits the machine's register limit.
+  int maxBlockingFactorStrict(const SgemmModelParams &Base) const;
+
+  /// Runs the full analysis at one parameter point.
+  UpperBoundReport analyze(const SgemmModelParams &P);
+
+  /// Convenience: the best report over feasible BR values for a width.
+  UpperBoundReport bestForWidth(MemWidth W);
+
+  const MachineDesc &machine() const { return DB.machine(); }
+
+private:
+  PerfDatabase &DB;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_MODEL_UPPERBOUND_H

@@ -1,0 +1,35 @@
+//===- sgemm/Reference.cpp - host reference SGEMM --------------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sgemm/Reference.h"
+
+#include <cmath>
+
+using namespace gpuperf;
+
+void gpuperf::referenceSgemm(GemmVariant Variant, int M, int N, int K,
+                             float Alpha, const float *A, int Lda,
+                             const float *B, int Ldb, float Beta, float *C,
+                             int Ldc) {
+  const bool TA = transA(Variant);
+  const bool TB = transB(Variant);
+  auto OpA = [&](int I, int KIdx) {
+    return TA ? A[static_cast<size_t>(I) * Lda + KIdx]
+              : A[static_cast<size_t>(KIdx) * Lda + I];
+  };
+  auto OpB = [&](int KIdx, int J) {
+    return TB ? B[static_cast<size_t>(KIdx) * Ldb + J]
+              : B[static_cast<size_t>(J) * Ldb + KIdx];
+  };
+  for (int J = 0; J < N; ++J)
+    for (int I = 0; I < M; ++I) {
+      float Acc = 0.0f;
+      for (int KIdx = 0; KIdx < K; ++KIdx)
+        Acc = std::fma(OpA(I, KIdx), OpB(KIdx, J), Acc);
+      float &Out = C[static_cast<size_t>(J) * Ldc + I];
+      Out = std::fma(Acc, Alpha, Beta * Out);
+    }
+}

@@ -1,0 +1,30 @@
+//===- sgemm/Reference.h - host reference SGEMM -----------------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A host-side reference implementation of the BLAS operation
+/// C := alpha * op(A) * op(B) + beta * C (column-major), used to verify
+/// the simulated kernels. Accumulation uses fused multiply-adds in
+/// ascending-k order, matching the generated kernels' FFMA order so that
+/// results agree bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SGEMM_REFERENCE_H
+#define GPUPERF_SGEMM_REFERENCE_H
+
+#include "kernelgen/SgemmConfig.h"
+
+namespace gpuperf {
+
+/// Reference SGEMM on column-major host arrays.
+void referenceSgemm(GemmVariant Variant, int M, int N, int K, float Alpha,
+                    const float *A, int Lda, const float *B, int Ldb,
+                    float Beta, float *C, int Ldc);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SGEMM_REFERENCE_H

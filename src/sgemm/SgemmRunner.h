@@ -1,0 +1,70 @@
+//===- sgemm/SgemmRunner.h - end-to-end SGEMM on the simulator --*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The highest-level public API: run one SGEMM problem with a chosen
+/// implementation on a simulated GPU, optionally verify the numerical
+/// result against the host reference, and report performance.
+///
+/// Sizes need not be multiples of the kernel's block tile: matrices are
+/// zero-padded into tile-aligned device buffers (the paper's kernels
+/// handle edges with predication; padding exercises the same code paths
+/// at equivalent cost).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SGEMM_SGEMMRUNNER_H
+#define GPUPERF_SGEMM_SGEMMRUNNER_H
+
+#include "kernelgen/Baselines.h"
+#include "kernelgen/SgemmGenerator.h"
+#include "sim/Launcher.h"
+
+namespace gpuperf {
+
+/// One SGEMM problem instance.
+struct SgemmProblem {
+  GemmVariant Variant = GemmVariant::NN;
+  int M = 0, N = 0, K = 0;
+  float Alpha = 1.0f;
+  float Beta = 0.0f;
+};
+
+/// Result of a run.
+struct SgemmRunResult {
+  double Gflops = 0;        ///< Using 2*M*N*K flops of the padded problem.
+  double Seconds = 0;
+  double FractionOfPeak = 0;
+  LaunchResult Launch;      ///< Simulator statistics.
+  int RegsPerThread = 0;
+  int CodeSize = 0;         ///< Static instructions in the kernel.
+  double FfmaPercent = 0;   ///< Of executed thread instructions.
+  bool Verified = false;    ///< True when verification ran and passed.
+  double MaxAbsError = 0;
+};
+
+/// How to execute the run.
+struct SgemmRunOptions {
+  SimMode Mode = SimMode::ProjectOneWave;
+  bool Verify = false; ///< Requires Mode == Full.
+  uint64_t Seed = 1;   ///< Matrix-content RNG seed.
+};
+
+/// Runs \p Problem with implementation \p Impl on machine \p M.
+Expected<SgemmRunResult> runSgemm(const MachineDesc &M, SgemmImpl Impl,
+                                  const SgemmProblem &Problem,
+                                  const SgemmRunOptions &Options = {});
+
+/// Runs a fully-custom kernel configuration (ablations); sizes in
+/// \p Problem override the shape fields of \p Cfg.
+Expected<SgemmRunResult> runSgemmConfig(const MachineDesc &M,
+                                        SgemmKernelConfig Cfg,
+                                        const SgemmProblem &Problem,
+                                        const SgemmRunOptions &Options = {});
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SGEMM_SGEMMRUNNER_H

@@ -1,0 +1,304 @@
+//===- sim/Executor.cpp - functional execution of warp instructions -------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Executor.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace gpuperf;
+
+namespace {
+
+float asFloat(uint32_t Bits) {
+  float F;
+  std::memcpy(&F, &Bits, 4);
+  return F;
+}
+
+uint32_t asBits(float F) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &F, 4);
+  return Bits;
+}
+
+/// Computes the shared-memory serialization multiplier for a warp access.
+///
+/// Banks are NumBanks words of BankBytes; lanes touching distinct words in
+/// the same bank serialize, while lanes reading the same word broadcast.
+/// The multiplier is normalized by the *inherent* degree of a perfectly
+/// sequential access of this width (e.g. LDS.64 on Fermi inherently takes
+/// two passes, which the base pipe cost already covers).
+double sharedSerialization(const std::vector<int64_t> &Addrs, int Width,
+                           int NumBanks, int BankBytes) {
+  if (Addrs.empty())
+    return 1.0;
+  // Collect distinct words per bank.
+  std::vector<std::vector<int64_t>> Words(NumBanks);
+  for (int64_t Addr : Addrs) {
+    for (int Offset = 0; Offset < Width; Offset += BankBytes) {
+      int64_t Word = (Addr + Offset) / BankBytes;
+      int Bank = static_cast<int>(Word % NumBanks);
+      auto &List = Words[Bank];
+      if (std::find(List.begin(), List.end(), Word) == List.end())
+        List.push_back(Word);
+    }
+  }
+  size_t Degree = 0;
+  for (const auto &List : Words)
+    Degree = std::max(Degree, List.size());
+  int Ideal = std::max(
+      1, static_cast<int>(Addrs.size()) * Width / BankBytes / NumBanks);
+  return std::max(1.0, static_cast<double>(Degree) / Ideal);
+}
+
+} // namespace
+
+ExecEffects Executor::execute(const Instruction &I, WarpContext &W,
+                              int BlockIdxLinear,
+                              SharedMemory &Shared) const {
+  ExecEffects Fx;
+  const int Threads = Dims.threadsPerBlock();
+  const int CtaX = BlockIdxLinear % Dims.GridX;
+  const int CtaY = BlockIdxLinear / Dims.GridX;
+
+  auto LaneActive = [&](int Lane) {
+    return ((W.ActiveMask >> Lane) & 1) && W.guardTrue(I, Lane);
+  };
+  auto LinearTid = [&](int Lane) { return W.WarpInBlock * WarpSize + Lane; };
+
+  switch (I.Op) {
+  case Opcode::NOP:
+    return Fx;
+  case Opcode::EXIT:
+    Fx.IsExit = true;
+    return Fx;
+  case Opcode::BAR:
+    Fx.IsBarrier = true;
+    return Fx;
+  case Opcode::BRA: {
+    // Require warp-uniform branching (the paper's kernels are uniform;
+    // per-lane work is predicated instead).
+    int Taken = -1;
+    for (int Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!((W.ActiveMask >> Lane) & 1))
+        continue;
+      int LaneTaken = W.guardTrue(I, Lane) ? 1 : 0;
+      if (Taken < 0)
+        Taken = LaneTaken;
+      else if (Taken != LaneTaken) {
+        Fx.Fault = "divergent branch is not supported by the simulator";
+        return Fx;
+      }
+    }
+    Fx.BranchTaken = Taken == 1;
+    return Fx;
+  }
+  default:
+    break;
+  }
+
+  // Per-lane execution for everything else.
+  const OpClass Class = opcodeInfo(I.Op).Class;
+  if (Class == OpClass::SharedMem || Class == OpClass::GlobalMem) {
+    std::vector<int64_t> Addrs;
+    Addrs.reserve(WarpSize);
+    const int Width = memWidthBytes(I.Width);
+    const int Words = memWidthRegs(I.Width);
+    const bool IsLoad = I.Op == Opcode::LDS || I.Op == Opcode::LD;
+    const bool IsShared = Class == OpClass::SharedMem;
+    for (int Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!LaneActive(Lane))
+        continue;
+      int64_t Addr =
+          static_cast<int64_t>(W.readReg(I.Src[0], Lane)) + I.Imm;
+      if (Addr % Width != 0) {
+        Fx.Fault = formatString(
+            "misaligned %d-byte access at address 0x%llx (lane %d)", Width,
+            static_cast<long long>(Addr), Lane);
+        return Fx;
+      }
+      bool Ok = IsShared ? Shared.inBounds(Addr, Width)
+                         : Addr >= 0 && Global.inBounds(
+                                            static_cast<uint64_t>(Addr),
+                                            Width);
+      if (!Ok) {
+        Fx.Fault = formatString(
+            "%s memory access out of bounds at 0x%llx (lane %d)",
+            IsShared ? "shared" : "global", static_cast<long long>(Addr),
+            Lane);
+        return Fx;
+      }
+      Addrs.push_back(Addr);
+      for (int Word = 0; Word < Words; ++Word) {
+        int64_t A = Addr + 4 * Word;
+        if (IsLoad) {
+          uint32_t V = IsShared ? Shared.load32(A)
+                                : Global.load32(static_cast<uint32_t>(A));
+          W.writeReg(static_cast<uint8_t>(I.Dst + Word), Lane, V);
+        } else {
+          uint32_t V =
+              W.readReg(static_cast<uint8_t>(I.Src[1] + Word), Lane);
+          if (IsShared)
+            Shared.store32(A, V);
+          else
+            Global.store32(static_cast<uint32_t>(A), V);
+        }
+      }
+    }
+    if (IsShared) {
+      Fx.SharedSerialization = sharedSerialization(
+          Addrs, Width, M.SharedMemBanks, M.SharedMemBankBytes);
+    } else {
+      // Coalescing: distinct 128-byte segments touched by the warp.
+      std::vector<int64_t> Segments;
+      for (int64_t Addr : Addrs) {
+        int64_t First = Addr / 128;
+        int64_t Last = (Addr + Width - 1) / 128;
+        for (int64_t S = First; S <= Last; ++S)
+          if (std::find(Segments.begin(), Segments.end(), S) ==
+              Segments.end())
+            Segments.push_back(S);
+      }
+      Fx.GlobalTransactions = static_cast<int>(Segments.size());
+      Fx.GlobalBytes = static_cast<int>(Segments.size()) * 128;
+    }
+    return Fx;
+  }
+
+  for (int Lane = 0; Lane < WarpSize; ++Lane) {
+    if (!LaneActive(Lane))
+      continue;
+    uint32_t A = W.readReg(I.Src[0], Lane);
+    uint32_t B = I.immReplacesSrc1() ? static_cast<uint32_t>(I.Imm)
+                                     : W.readReg(I.Src[1], Lane);
+    uint32_t C = W.readReg(I.Src[2], Lane);
+    uint32_t Result = 0;
+    switch (I.Op) {
+    case Opcode::FFMA:
+      Result = asBits(std::fma(asFloat(A), asFloat(B), asFloat(C)));
+      break;
+    case Opcode::FADD:
+      Result = asBits(asFloat(A) + asFloat(B));
+      break;
+    case Opcode::FMUL:
+      Result = asBits(asFloat(A) * asFloat(B));
+      break;
+    case Opcode::IADD:
+      Result = A + B;
+      break;
+    case Opcode::IMUL:
+      Result = A * B;
+      break;
+    case Opcode::IMAD:
+      Result = A * B + C;
+      break;
+    case Opcode::ISCADD:
+      Result = (A << I.iscaddShift()) + B;
+      break;
+    case Opcode::SHL:
+      Result = A << (B & 31);
+      break;
+    case Opcode::SHR:
+      Result = A >> (B & 31);
+      break;
+    case Opcode::LOP_AND:
+      Result = A & B;
+      break;
+    case Opcode::LOP_OR:
+      Result = A | B;
+      break;
+    case Opcode::LOP_XOR:
+      Result = A ^ B;
+      break;
+    case Opcode::MOV:
+      Result = A;
+      break;
+    case Opcode::MOV32I:
+      Result = static_cast<uint32_t>(I.Imm);
+      break;
+    case Opcode::S2R: {
+      int Tid = LinearTid(Lane);
+      switch (I.specialReg()) {
+      case SpecialReg::TID_X:
+        Result = static_cast<uint32_t>(Tid % Dims.BlockX);
+        break;
+      case SpecialReg::TID_Y:
+        Result = static_cast<uint32_t>(Tid / Dims.BlockX);
+        break;
+      case SpecialReg::CTAID_X:
+        Result = static_cast<uint32_t>(CtaX);
+        break;
+      case SpecialReg::CTAID_Y:
+        Result = static_cast<uint32_t>(CtaY);
+        break;
+      case SpecialReg::NTID_X:
+        Result = static_cast<uint32_t>(Dims.BlockX);
+        break;
+      case SpecialReg::NTID_Y:
+        Result = static_cast<uint32_t>(Dims.BlockY);
+        break;
+      case SpecialReg::NCTAID_X:
+        Result = static_cast<uint32_t>(Dims.GridX);
+        break;
+      case SpecialReg::NCTAID_Y:
+        Result = static_cast<uint32_t>(Dims.GridY);
+        break;
+      }
+      break;
+    }
+    case Opcode::LDC: {
+      size_t Index = static_cast<uint32_t>(I.Imm) / 4;
+      if (Index >= Params.size()) {
+        Fx.Fault = formatString("LDC offset 0x%x beyond the %zu parameter "
+                                "words",
+                                static_cast<uint32_t>(I.Imm),
+                                Params.size());
+        return Fx;
+      }
+      Result = Params[Index];
+      break;
+    }
+    case Opcode::ISETP: {
+      int32_t SA = static_cast<int32_t>(A);
+      int32_t SB = static_cast<int32_t>(B);
+      bool P = false;
+      switch (I.cmpOp()) {
+      case CmpOp::LT:
+        P = SA < SB;
+        break;
+      case CmpOp::LE:
+        P = SA <= SB;
+        break;
+      case CmpOp::GT:
+        P = SA > SB;
+        break;
+      case CmpOp::GE:
+        P = SA >= SB;
+        break;
+      case CmpOp::EQ:
+        P = SA == SB;
+        break;
+      case CmpOp::NE:
+        P = SA != SB;
+        break;
+      }
+      W.writePred(I.Dst, Lane, P);
+      continue;
+    }
+    default:
+      Fx.Fault = formatString("unimplemented opcode %s",
+                              std::string(opcodeMnemonic(I.Op)).c_str());
+      return Fx;
+    }
+    W.writeReg(I.Dst, Lane, Result);
+    (void)Threads;
+  }
+  return Fx;
+}

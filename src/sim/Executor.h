@@ -1,0 +1,79 @@
+//===- sim/Executor.h - functional execution of warp instructions -*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes one instruction functionally for all 32 lanes of a warp, and
+/// reports the side information the timing model needs: shared-memory bank
+/// serialization, global-memory transaction counts, and control effects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SIM_EXECUTOR_H
+#define GPUPERF_SIM_EXECUTOR_H
+
+#include "arch/MachineDesc.h"
+#include "isa/Module.h"
+#include "sim/Memory.h"
+#include "sim/Warp.h"
+#include "support/Error.h"
+
+#include <vector>
+
+namespace gpuperf {
+
+/// Grid/block geometry of a launch (2D is all the paper's kernels need).
+struct LaunchDims {
+  int GridX = 1, GridY = 1;
+  int BlockX = 1, BlockY = 1;
+
+  int threadsPerBlock() const { return BlockX * BlockY; }
+  int numBlocks() const { return GridX * GridY; }
+  int warpsPerBlock() const {
+    return (threadsPerBlock() + WarpSize - 1) / WarpSize;
+  }
+};
+
+/// Timing-relevant side effects of executing one warp instruction.
+struct ExecEffects {
+  bool BranchTaken = false;
+  bool IsBarrier = false;
+  bool IsExit = false;
+  /// Shared access serialization multiplier (>= 1); 1 for non-shared ops.
+  double SharedSerialization = 1.0;
+  /// Number of 128-byte global transactions generated (0 for non-global).
+  int GlobalTransactions = 0;
+  /// Total bytes moved to/from global memory.
+  int GlobalBytes = 0;
+  /// Runtime fault message (empty when OK): out-of-bounds accesses,
+  /// misaligned wide accesses, divergent branches.
+  std::string Fault;
+
+  bool faulted() const { return !Fault.empty(); }
+};
+
+/// Functional executor bound to one launch's memories and geometry.
+class Executor {
+public:
+  Executor(const MachineDesc &M, GlobalMemory &Global,
+           const std::vector<uint32_t> &Params, const LaunchDims &Dims)
+      : M(M), Global(Global), Params(Params), Dims(Dims) {}
+
+  /// Executes \p I for warp \p W whose block is \p BlockIdxLinear
+  /// (linearized ctaid) with shared memory \p Shared. Advances nothing;
+  /// the caller owns the PC.
+  ExecEffects execute(const Instruction &I, WarpContext &W,
+                      int BlockIdxLinear, SharedMemory &Shared) const;
+
+private:
+  const MachineDesc &M;
+  GlobalMemory &Global;
+  const std::vector<uint32_t> &Params;
+  const LaunchDims &Dims;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SIM_EXECUTOR_H

@@ -1,0 +1,109 @@
+//===- sim/Launcher.cpp - grid launch and performance projection ----------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Launcher.h"
+
+#include "support/Format.h"
+#include "support/MathUtils.h"
+
+using namespace gpuperf;
+
+Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
+                                             const Kernel &K,
+                                             const LaunchConfig &Config,
+                                             GlobalMemory &Global) {
+  using ER = Expected<LaunchResult>;
+  const LaunchDims &Dims = Config.Dims;
+  if (Dims.numBlocks() <= 0 || Dims.threadsPerBlock() <= 0)
+    return ER::error("empty launch configuration");
+  if (K.Code.empty())
+    return ER::error(formatString("kernel '%s' has no code",
+                                  K.Name.c_str()));
+  if (M.Generation == GpuGeneration::Kepler && K.hasNotations() &&
+      K.Notations.size() != K.requiredNotationCount())
+    return ER::error("control notations do not cover the kernel code");
+
+  KernelResources Res;
+  Res.RegsPerThread = K.RegsPerThread;
+  Res.SharedBytesPerBlock = K.SharedBytes;
+  Res.ThreadsPerBlock = Dims.threadsPerBlock();
+  Occupancy Occ = computeOccupancy(M, Res);
+  if (Config.MaxResidentBlocksOverride > 0 && Occ.launchable() &&
+      Occ.ActiveBlocks > Config.MaxResidentBlocksOverride) {
+    Occ.ActiveBlocks = Config.MaxResidentBlocksOverride;
+    Occ.ActiveThreads = Occ.ActiveBlocks * Res.ThreadsPerBlock;
+    Occ.ActiveWarps = Occ.ActiveThreads / M.WarpSize;
+  }
+  if (!Occ.launchable())
+    return ER::error(formatString(
+        "kernel '%s' is not launchable: %s (regs=%d shared=%d threads=%d)",
+        K.Name.c_str(), occupancyLimitName(Occ.Limit), Res.RegsPerThread,
+        Res.SharedBytesPerBlock, Res.ThreadsPerBlock));
+
+  Executor Exec(M, Global, Config.Params, Dims);
+
+  LaunchResult Result;
+  Result.Occ = Occ;
+
+  const int NumBlocks = Dims.numBlocks();
+  const int BlocksPerWaveChip = Occ.ActiveBlocks * M.NumSMs;
+  Result.WavesTotal = static_cast<int>(
+      divideCeil(static_cast<uint64_t>(NumBlocks),
+                 static_cast<uint64_t>(BlocksPerWaveChip)));
+
+  if (Config.Mode == SimMode::ProjectOneWave) {
+    // Simulate the first wave of SM 0 and extrapolate. SM 0 gets blocks
+    // 0..N-1 of the wave; for SGEMM-style kernels with data-independent
+    // control flow, the choice of blocks is timing-equivalent.
+    std::vector<int> BlockIds;
+    for (int B = 0; B < std::min(Occ.ActiveBlocks, NumBlocks); ++B)
+      BlockIds.push_back(B);
+    auto Wave = simulateWave(M, K, Exec, Dims, BlockIds);
+    if (!Wave)
+      return ER::error(Wave.message());
+    Result.Stats = *Wave;
+    Result.WavesSimulated = 1;
+    // The last wave may be partial; count it proportionally.
+    double FullWaves =
+        static_cast<double>(NumBlocks) / BlocksPerWaveChip;
+    Result.TotalCycles =
+        static_cast<double>(Wave->Cycles) * std::max(1.0, FullWaves);
+    return Result;
+  }
+
+  // Full simulation: blocks are distributed round-robin over SMs; each SM
+  // runs its share in waves of Occ.ActiveBlocks. Chip time is the slowest
+  // SM.
+  SimStats Chip;
+  uint64_t SlowestSM = 0;
+  for (int SM = 0; SM < M.NumSMs; ++SM) {
+    // Blocks of this SM.
+    std::vector<int> Mine;
+    for (int B = SM; B < NumBlocks; B += M.NumSMs)
+      Mine.push_back(B);
+    if (Mine.empty())
+      continue;
+    SimStats SMStats;
+    for (size_t First = 0; First < Mine.size();
+         First += static_cast<size_t>(Occ.ActiveBlocks)) {
+      size_t Last = std::min(Mine.size(),
+                             First + static_cast<size_t>(Occ.ActiveBlocks));
+      std::vector<int> WaveBlocks(Mine.begin() + First,
+                                  Mine.begin() + Last);
+      auto Wave = simulateWave(M, K, Exec, Dims, WaveBlocks);
+      if (!Wave)
+        return ER::error(Wave.message());
+      SMStats.addSequential(*Wave);
+      ++Result.WavesSimulated;
+    }
+    SlowestSM = std::max(SlowestSM, SMStats.Cycles);
+    Chip.addConcurrent(SMStats);
+  }
+  Chip.Cycles = SlowestSM;
+  Result.Stats = Chip;
+  Result.TotalCycles = static_cast<double>(SlowestSM);
+  return Result;
+}

@@ -1,0 +1,75 @@
+//===- sim/Launcher.h - grid launch and performance projection --*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host-side launch API: distributes blocks across SMs in waves sized
+/// by the occupancy calculator and runs the cycle-level SM simulator.
+///
+/// Two modes:
+///  * Full: every block is simulated (functional results are complete);
+///    total time is the slowest SM's sequence of waves.
+///  * ProjectOneWave: only the first wave on one SM is simulated and the
+///    total cycle count is extrapolated over all waves. Because the
+///    paper's kernels have data-independent control flow, wave timing is
+///    periodic and the extrapolation is validated against full simulation
+///    in the test suite. This is what makes 4800x4800 SGEMM sweeps
+///    tractable on a laptop-scale reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SIM_LAUNCHER_H
+#define GPUPERF_SIM_LAUNCHER_H
+
+#include "arch/Occupancy.h"
+#include "sim/Executor.h"
+#include "sim/SMSimulator.h"
+
+namespace gpuperf {
+
+/// How much of the grid to simulate.
+enum class SimMode {
+  Full,           ///< All blocks on all SMs.
+  ProjectOneWave, ///< First wave on one SM; extrapolate cycles.
+};
+
+/// A kernel launch request.
+struct LaunchConfig {
+  LaunchDims Dims;
+  std::vector<uint32_t> Params; ///< Constant-bank words (LDC reads these).
+  SimMode Mode = SimMode::Full;
+  /// When > 0, caps resident blocks per SM below what the occupancy
+  /// calculator allows (used by the active-thread sweeps of Figure 4).
+  int MaxResidentBlocksOverride = 0;
+};
+
+/// Result of a (possibly projected) launch.
+struct LaunchResult {
+  SimStats Stats;          ///< Counters for the simulated portion.
+  double TotalCycles = 0;  ///< Whole-grid cycles (projected in wave mode).
+  Occupancy Occ;           ///< Residency used during simulation.
+  int WavesSimulated = 0;
+  int WavesTotal = 0;
+
+  /// Wall-clock seconds of the whole grid on machine \p M.
+  double seconds(const MachineDesc &M) const {
+    return TotalCycles / (M.ShaderClockMHz * 1e6);
+  }
+  /// GFLOPS given the launch's useful flop count.
+  double gflops(const MachineDesc &M, double Flops) const {
+    double S = seconds(M);
+    return S > 0 ? Flops / S / 1e9 : 0.0;
+  }
+};
+
+/// Launches \p K on \p M. Fails on unlaunchable configurations (occupancy
+/// zero, bad parameters) or runtime faults inside the kernel.
+Expected<LaunchResult> launchKernel(const MachineDesc &M, const Kernel &K,
+                                    const LaunchConfig &Config,
+                                    GlobalMemory &Global);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SIM_LAUNCHER_H

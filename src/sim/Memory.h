@@ -1,0 +1,109 @@
+//===- sim/Memory.h - simulated global and shared memories ------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-addressable simulated memories. Global memory uses 32-bit byte
+/// addresses (the paper's kernels deliberately use 32-bit addressing to
+/// save address registers, Section 5.2); shared memory is one allocation
+/// per resident block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SIM_MEMORY_H
+#define GPUPERF_SIM_MEMORY_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace gpuperf {
+
+/// The device's global memory plus a trivial bump allocator. The backing
+/// store grows on allocate(), so small experiments stay cheap while
+/// 4800x4800 SGEMM (276 MB of matrices) still fits the 32-bit space.
+class GlobalMemory {
+public:
+  explicit GlobalMemory(size_t Bytes = 1ull << 20) : Data(Bytes, 0) {}
+
+  /// Allocates \p Bytes aligned to 256 (like cudaMalloc); returns the byte
+  /// address. Asserts on 32-bit address-space exhaustion.
+  uint32_t allocate(size_t Bytes) {
+    Next = (Next + 255) & ~size_t(255);
+    assert(Next + Bytes <= (1ull << 32) && "global address space exhausted");
+    uint32_t Addr = static_cast<uint32_t>(Next);
+    Next += Bytes;
+    if (Next > Data.size())
+      Data.resize(Next, 0);
+    return Addr;
+  }
+
+  /// Resets the allocator (contents preserved).
+  void resetAllocator() { Next = 256; }
+
+  bool inBounds(uint64_t Addr, int Bytes) const {
+    return Addr + Bytes <= Data.size();
+  }
+
+  uint32_t load32(uint32_t Addr) const {
+    assert(inBounds(Addr, 4) && "global load out of bounds");
+    uint32_t V;
+    std::memcpy(&V, Data.data() + Addr, 4);
+    return V;
+  }
+  void store32(uint32_t Addr, uint32_t Value) {
+    assert(inBounds(Addr, 4) && "global store out of bounds");
+    std::memcpy(Data.data() + Addr, &Value, 4);
+  }
+
+  /// Typed host-side access for filling/checking matrices.
+  float loadFloat(uint32_t Addr) const {
+    uint32_t V = load32(Addr);
+    float F;
+    std::memcpy(&F, &V, 4);
+    return F;
+  }
+  void storeFloat(uint32_t Addr, float F) {
+    uint32_t V;
+    std::memcpy(&V, &F, 4);
+    store32(Addr, V);
+  }
+
+  size_t size() const { return Data.size(); }
+
+private:
+  std::vector<uint8_t> Data;
+  size_t Next = 256; // Keep address 0 invalid-ish.
+};
+
+/// One block's shared memory.
+class SharedMemory {
+public:
+  explicit SharedMemory(int Bytes) : Data(static_cast<size_t>(Bytes), 0) {}
+
+  bool inBounds(int64_t Addr, int Bytes) const {
+    return Addr >= 0 &&
+           static_cast<size_t>(Addr + Bytes) <= Data.size();
+  }
+  uint32_t load32(int64_t Addr) const {
+    assert(inBounds(Addr, 4) && "shared load out of bounds");
+    uint32_t V;
+    std::memcpy(&V, Data.data() + Addr, 4);
+    return V;
+  }
+  void store32(int64_t Addr, uint32_t Value) {
+    assert(inBounds(Addr, 4) && "shared store out of bounds");
+    std::memcpy(Data.data() + Addr, &Value, 4);
+  }
+  int size() const { return static_cast<int>(Data.size()); }
+
+private:
+  std::vector<uint8_t> Data;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SIM_MEMORY_H

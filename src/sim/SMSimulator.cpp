@@ -1,0 +1,380 @@
+//===- sim/SMSimulator.cpp - cycle-level single-SM simulator --------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SMSimulator.h"
+
+#include "sim/Timing.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
+
+using namespace gpuperf;
+
+namespace {
+
+/// Replay cost when a warp is selected but its operands are not ready and
+/// the control notation did not cover the wait (Kepler only).
+constexpr int ReplayPenaltyCycles = 4;
+/// Issue-cost multiplier for Kepler binaries without control notations:
+/// the scheduler falls back to a conservative decode path.
+constexpr double NoNotationIssueFactor = 4.0;
+/// Hard safety cap so a broken kernel cannot hang the host.
+constexpr uint64_t MaxCycles = 1ull << 33;
+
+struct BlockState {
+  int BlockIdLinear = 0;
+  std::unique_ptr<SharedMemory> Shared;
+  int LiveWarps = 0;
+  int ArrivedAtBarrier = 0;
+};
+
+class SMSim {
+public:
+  SMSim(const MachineDesc &M, const Kernel &K, Executor &Exec,
+        const LaunchDims &Dims, const std::vector<int> &BlockIds)
+      : M(M), K(K), Exec(Exec), Dims(Dims) {
+    HasNotations =
+        M.Generation != GpuGeneration::Kepler || K.hasNotations();
+    int WarpsPerBlock = Dims.warpsPerBlock();
+    Blocks.reserve(BlockIds.size());
+    for (int BlockId : BlockIds) {
+      BlockState B;
+      B.BlockIdLinear = BlockId;
+      B.Shared = std::make_unique<SharedMemory>(K.SharedBytes);
+      B.LiveWarps = WarpsPerBlock;
+      Blocks.push_back(std::move(B));
+    }
+    int NumRegs = std::max(K.RegsPerThread, 1);
+    for (size_t Slot = 0; Slot < Blocks.size(); ++Slot) {
+      for (int WarpIdx = 0; WarpIdx < WarpsPerBlock; ++WarpIdx) {
+        WarpContext W;
+        W.reset(NumRegs);
+        W.BlockSlot = static_cast<int>(Slot);
+        W.WarpInBlock = WarpIdx;
+        int FirstThread = WarpIdx * WarpSize;
+        int LastThread =
+            std::min(FirstThread + WarpSize, Dims.threadsPerBlock());
+        int Lanes = LastThread - FirstThread;
+        W.ActiveMask =
+            Lanes == WarpSize ? 0xffffffffu : ((1u << Lanes) - 1);
+        Warps.push_back(std::move(W));
+      }
+    }
+    LiveWarps = static_cast<int>(Warps.size());
+    NumSchedulers = std::max(1, M.WarpSchedulersPerSM);
+    PortFree.assign(NumSchedulers, 0.0);
+    RRNext.assign(NumSchedulers, 0);
+  }
+
+  Expected<SimStats> run() {
+    while (LiveWarps > 0) {
+      if (Now >= MaxCycles)
+        return Expected<SimStats>::error(
+            "cycle limit exceeded (possible livelock in kernel)");
+      bool IssuedAny = false;
+      // Rotate the scheduler service order each cycle: the SM-wide issue
+      // pipe is a shared resource, and a fixed order would systematically
+      // starve the last scheduler's warps.
+      for (int Step = 0; Step < NumSchedulers; ++Step) {
+        int Sched = static_cast<int>(
+            (Step + Now) % static_cast<uint64_t>(NumSchedulers));
+        if (Status S = runScheduler(Sched, IssuedAny); S.failed())
+          return Expected<SimStats>(S);
+      }
+      if (!Fault.empty())
+        return Expected<SimStats>::error(Fault);
+      if (IssuedAny) {
+        ++Now;
+        continue;
+      }
+      ++Stats.IdleCycles;
+      uint64_t Next = nextWakeCycle();
+      if (Next == UINT64_MAX)
+        return Expected<SimStats>::error(
+            "deadlock: no warp can make progress (barrier mismatch?)");
+      Now = std::max(Now + 1, Next);
+    }
+    Stats.Cycles = Now;
+    return Stats;
+  }
+
+private:
+  /// The control field for the instruction at \p PC (zeros when the
+  /// kernel carries no notations).
+  ControlField fieldAt(int PC) const {
+    if (M.Generation != GpuGeneration::Kepler || !K.hasNotations())
+      return ControlField();
+    return K.Notations[PC / NotationGroupSize]
+        .Fields[PC % NotationGroupSize];
+  }
+
+  bool regsReady(const WarpContext &W, const Instruction &I) const {
+    for (uint8_t Reg : I.sourceRegs())
+      if (W.RegReady[Reg] > Now)
+        return false;
+    for (uint8_t Reg : I.destRegs())
+      if (W.RegReady[Reg] > Now)
+        return false;
+    if (I.GuardPred != PredPT && W.PredReady[I.GuardPred] > Now)
+      return false;
+    if (I.writesPredicate() && W.PredReady[I.Dst] > Now)
+      return false;
+    return true;
+  }
+
+  /// Earliest cycle at which the operands of \p I can be ready.
+  uint64_t regsReadyCycle(const WarpContext &W,
+                          const Instruction &I) const {
+    uint64_t T = 0;
+    for (uint8_t Reg : I.sourceRegs())
+      T = std::max(T, W.RegReady[Reg]);
+    for (uint8_t Reg : I.destRegs())
+      T = std::max(T, W.RegReady[Reg]);
+    if (I.GuardPred != PredPT)
+      T = std::max(T, W.PredReady[I.GuardPred]);
+    if (I.writesPredicate())
+      T = std::max(T, W.PredReady[I.Dst]);
+    return T;
+  }
+
+  bool pipesFree(const Instruction &I, int Sched) const {
+    double Limit = static_cast<double>(Now) + 1.0;
+    if (dispatchPortCycles(M, I) > 0 && PortFree[Sched] >= Limit)
+      return false;
+    if (issuePipeCycles(M, I) > 0 && IssuePipeFree >= Limit)
+      return false;
+    if (mathPipeCycles(M, I) > 0 && MathPipeFree >= Limit)
+      return false;
+    if (ldstPipeCycles(M, I) > 0 && LdstPipeFree >= Limit)
+      return false;
+    return true;
+  }
+
+  /// Attempts to issue the next instruction of warp \p WarpIdx; true on
+  /// success. \p AllowReplayPenalty charges the warp when its operands
+  /// are not ready despite the notation saying they should be.
+  bool tryIssue(int WarpIdx, int Sched, bool AllowReplayPenalty) {
+    WarpContext &W = Warps[WarpIdx];
+    if (W.Done || W.AtBarrier || W.StallUntil > Now)
+      return false;
+    assert(W.PC >= 0 && static_cast<size_t>(W.PC) < K.Code.size() &&
+           "warp ran off the end of the kernel (missing EXIT?)");
+    const Instruction &I = K.Code[W.PC];
+    if (!pipesFree(I, Sched))
+      return false;
+    if (!regsReady(W, I)) {
+      if (AllowReplayPenalty && M.Generation == GpuGeneration::Kepler &&
+          HasNotations && !W.NoPenaltyWait) {
+        // A mis-hinted instruction is dispatched and replayed: the warp
+        // loses cycles AND the issue pipe burns half a slot on the
+        // cancelled dispatch.
+        W.StallUntil = Now + ReplayPenaltyCycles;
+        IssuePipeFree = std::max(IssuePipeFree, static_cast<double>(Now)) +
+                        0.5 * WarpSize / M.MathIssueSlotsPerCycle;
+        ++Stats.ReplayPenalties;
+      }
+      return false;
+    }
+    issue(WarpIdx, Sched, I);
+    return true;
+  }
+
+  void issue(int WarpIdx, int Sched, const Instruction &I) {
+    WarpContext &W = Warps[WarpIdx];
+    BlockState &B = Blocks[W.BlockSlot];
+
+    // --- Occupy pipes ------------------------------------------------------
+    double NowD = static_cast<double>(Now);
+    if (double Port = dispatchPortCycles(M, I); Port > 0)
+      PortFree[Sched] = std::max(PortFree[Sched], NowD) + Port;
+    if (double Pipe = issuePipeCycles(M, I); Pipe > 0) {
+      if (!HasNotations)
+        Pipe *= NoNotationIssueFactor;
+      IssuePipeFree = std::max(IssuePipeFree, NowD) + Pipe;
+    }
+    if (double Pipe = mathPipeCycles(M, I); Pipe > 0)
+      MathPipeFree = std::max(MathPipeFree, NowD) + Pipe;
+
+    // --- Execute functionally ------------------------------------------------
+    ExecEffects Fx = Exec.execute(I, W, B.BlockIdLinear, *B.Shared);
+    if (Fx.faulted()) {
+      Fault = formatString("kernel %s, PC %d (%s): %s", K.Name.c_str(),
+                           W.PC, I.toString().c_str(), Fx.Fault.c_str());
+      return;
+    }
+
+    if (double Ldst = ldstPipeCycles(M, I); Ldst > 0) {
+      double Serial =
+          std::max(1.0, Fx.SharedSerialization /
+                            implicitConflictAllowance(M, I));
+      if (Fx.SharedSerialization > implicitConflictAllowance(M, I))
+        ++Stats.SharedConflictEvents;
+      LdstPipeFree = std::max(LdstPipeFree, NowD) + Ldst * Serial;
+    }
+
+    // --- Scoreboard updates ---------------------------------------------------
+    uint64_t Ready;
+    if (opcodeInfo(I.Op).Class == OpClass::GlobalMem &&
+        Fx.GlobalTransactions > 0) {
+      double BwCycles = Fx.GlobalBytes / memBytesPerCyclePerSM(M);
+      MemBWFree = std::max(MemBWFree, NowD) + BwCycles;
+      Ready = static_cast<uint64_t>(MemBWFree) + M.GlobalMemLatency;
+      Stats.GlobalBytes += static_cast<uint64_t>(Fx.GlobalBytes);
+      Stats.GlobalTransactions +=
+          static_cast<uint64_t>(Fx.GlobalTransactions);
+    } else {
+      Ready = Now + static_cast<uint64_t>(resultLatency(M, I));
+    }
+    for (uint8_t Reg : I.destRegs())
+      W.RegReady[Reg] = Ready;
+    if (I.writesPredicate())
+      W.PredReady[I.Dst] = Now + static_cast<uint64_t>(M.MathLatency);
+
+    // --- Control effects --------------------------------------------------------
+    ControlField F = fieldAt(W.PC);
+    if (Fx.IsExit) {
+      W.Done = true;
+      --LiveWarps;
+      --B.LiveWarps;
+      releaseBarrierIfComplete(B);
+    } else if (Fx.IsBarrier) {
+      W.AtBarrier = true;
+      ++B.ArrivedAtBarrier;
+      ++Stats.BarrierWaits;
+      W.PC += 1;
+      releaseBarrierIfComplete(B);
+    } else if (I.Op == Opcode::BRA && Fx.BranchTaken) {
+      W.PC += 1 + I.Imm;
+    } else {
+      W.PC += 1;
+    }
+
+    // --- Notation-driven stalls -----------------------------------------------
+    if (M.Generation == GpuGeneration::Kepler) {
+      if (HasNotations) {
+        W.StallUntil = Now + 1 + F.StallCycles;
+        W.NoPenaltyWait = F.Yield;
+      } else {
+        // Conservative fallback: wait out the full result latency.
+        W.StallUntil = Now + 1 + static_cast<uint64_t>(resultLatency(M, I));
+        W.NoPenaltyWait = true;
+      }
+    } else {
+      W.StallUntil = Now + 1;
+      W.NoPenaltyWait = true; // Fermi has a full scoreboard.
+    }
+    W.LastIssue = Now;
+
+    // --- Statistics ----------------------------------------------------------
+    ++Stats.WarpInstsIssued;
+    uint64_t Lanes = std::popcount(W.ActiveMask);
+    Stats.ThreadInstsIssued += Lanes;
+    Stats.ThreadInstsByOpcode[static_cast<size_t>(I.Op)] += Lanes;
+  }
+
+  void releaseBarrierIfComplete(BlockState &B) {
+    if (B.LiveWarps == 0 || B.ArrivedAtBarrier < B.LiveWarps)
+      return;
+    B.ArrivedAtBarrier = 0;
+    for (WarpContext &W : Warps)
+      if (W.BlockSlot == &B - Blocks.data() && W.AtBarrier)
+        W.AtBarrier = false;
+  }
+
+  Status runScheduler(int Sched, bool &IssuedAny) {
+    int NumWarps = static_cast<int>(Warps.size());
+    // Warps are distributed to schedulers by index.
+    std::vector<int> Mine;
+    Mine.reserve((NumWarps + NumSchedulers - 1) / NumSchedulers);
+    for (int W = Sched; W < NumWarps; W += NumSchedulers)
+      Mine.push_back(W);
+    if (Mine.empty())
+      return Status::success();
+
+    int Start = RRNext[Sched] % static_cast<int>(Mine.size());
+    for (int Offset = 0; Offset < static_cast<int>(Mine.size());
+         ++Offset) {
+      int Idx = (Start + Offset) % static_cast<int>(Mine.size());
+      int WarpIdx = Mine[Idx];
+      int PCBefore = Warps[WarpIdx].PC;
+      if (!tryIssue(WarpIdx, Sched, /*AllowReplayPenalty=*/true))
+        continue;
+      if (!Fault.empty())
+        return Status::success();
+      IssuedAny = true;
+      RRNext[Sched] = Idx + 1;
+      // Kepler dual issue: a second, independent instruction from the
+      // same warp when the notation permits it.
+      if (M.Generation == GpuGeneration::Kepler && HasNotations) {
+        ControlField F = fieldAt(PCBefore);
+        WarpContext &W = Warps[WarpIdx];
+        if (F.DualIssue && F.StallCycles == 0 && !W.Done &&
+            !W.AtBarrier) {
+          W.StallUntil = Now; // The pair issues in the same cycle.
+          if (tryIssue(WarpIdx, Sched, /*AllowReplayPenalty=*/false))
+            ++Stats.DualIssues;
+          if (W.StallUntil <= Now)
+            W.StallUntil = Now + 1;
+        }
+      }
+      return Status::success();
+    }
+    return Status::success();
+  }
+
+  /// Earliest cycle at which some warp might issue (UINT64_MAX if none).
+  uint64_t nextWakeCycle() const {
+    uint64_t Min = UINT64_MAX;
+    for (const WarpContext &W : Warps) {
+      if (W.Done || W.AtBarrier)
+        continue;
+      uint64_t T = W.StallUntil;
+      T = std::max(T, regsReadyCycle(W, K.Code[W.PC]));
+      // Pipes may also be the blocker.
+      double PipeFloor = std::min(
+          {IssuePipeFree, MathPipeFree, LdstPipeFree,
+           *std::min_element(PortFree.begin(), PortFree.end())});
+      T = std::max(T, static_cast<uint64_t>(PipeFloor));
+      Min = std::min(Min, T);
+    }
+    return Min;
+  }
+
+  const MachineDesc &M;
+  const Kernel &K;
+  Executor &Exec;
+  const LaunchDims &Dims;
+
+  std::vector<BlockState> Blocks;
+  std::vector<WarpContext> Warps;
+  int LiveWarps = 0;
+  int NumSchedulers = 1;
+  bool HasNotations = true;
+
+  uint64_t Now = 0;
+  double IssuePipeFree = 0.0;
+  double MathPipeFree = 0.0;
+  double LdstPipeFree = 0.0;
+  double MemBWFree = 0.0;
+  std::vector<double> PortFree;
+  std::vector<int> RRNext;
+
+  SimStats Stats;
+  std::string Fault;
+};
+
+} // namespace
+
+Expected<SimStats> gpuperf::simulateWave(const MachineDesc &M,
+                                         const Kernel &K, Executor &Exec,
+                                         const LaunchDims &Dims,
+                                         const std::vector<int> &BlockIds) {
+  SMSim Sim(M, K, Exec, Dims, BlockIds);
+  return Sim.run();
+}

@@ -1,0 +1,42 @@
+//===- sim/SMSimulator.h - cycle-level single-SM simulator ------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulates one SM executing one wave of resident blocks, cycle by cycle:
+/// warp schedulers with round-robin selection, dispatch-port and issue-pipe
+/// occupancy, a scoreboard with per-class latencies, shared-memory bank
+/// serialization, a bandwidth/latency global-memory model, barriers, and
+/// the Kepler control-notation semantics (stall/yield/dual-issue hints with
+/// replay penalties for mis-hinted dependences, and a slow conservative
+/// fallback for binaries without notations -- Section 3.2's "the
+/// performance is very poor").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SIM_SMSIMULATOR_H
+#define GPUPERF_SIM_SMSIMULATOR_H
+
+#include "arch/MachineDesc.h"
+#include "isa/Module.h"
+#include "sim/Executor.h"
+#include "sim/Stats.h"
+#include "support/Error.h"
+
+#include <vector>
+
+namespace gpuperf {
+
+/// Simulates one wave: the blocks in \p BlockIds resident together on one
+/// SM from cycle 0 until all exit. Functional effects land in the
+/// executor's global memory. Returns per-wave statistics or a fault
+/// (runtime error in the kernel, deadlock, cycle-limit overflow).
+Expected<SimStats> simulateWave(const MachineDesc &M, const Kernel &K,
+                                Executor &Exec, const LaunchDims &Dims,
+                                const std::vector<int> &BlockIds);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SIM_SMSIMULATOR_H

@@ -1,0 +1,74 @@
+//===- sim/Stats.h - simulation statistics ----------------------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SIM_STATS_H
+#define GPUPERF_SIM_STATS_H
+
+#include "isa/Opcode.h"
+
+#include <array>
+#include <cstdint>
+
+namespace gpuperf {
+
+/// Counters accumulated while simulating one SM (or merged across SMs).
+struct SimStats {
+  uint64_t Cycles = 0;
+  uint64_t WarpInstsIssued = 0;
+  uint64_t ThreadInstsIssued = 0;
+  std::array<uint64_t, static_cast<size_t>(Opcode::NumOpcodes)>
+      ThreadInstsByOpcode = {};
+  uint64_t GlobalBytes = 0;
+  uint64_t GlobalTransactions = 0;
+  uint64_t ReplayPenalties = 0;
+  uint64_t SharedConflictEvents = 0; ///< Shared accesses serialized > 1x.
+  uint64_t BarrierWaits = 0;
+  uint64_t IdleCycles = 0;   ///< Cycles in which no scheduler issued.
+  uint64_t DualIssues = 0;   ///< Second-slot issues (Kepler pairs).
+
+  uint64_t threadInsts(Opcode Op) const {
+    return ThreadInstsByOpcode[static_cast<size_t>(Op)];
+  }
+
+  /// FFMA thread instructions (the "useful work" metric of the paper).
+  uint64_t ffmaThreadInsts() const { return threadInsts(Opcode::FFMA); }
+
+  /// Thread instructions per cycle (the y-axis of Figures 2 and 4).
+  double threadInstsPerCycle() const {
+    return Cycles ? static_cast<double>(ThreadInstsIssued) / Cycles : 0.0;
+  }
+
+  /// Accumulates counters from a sequentially-simulated wave: cycles add.
+  void addSequential(const SimStats &O) {
+    Cycles += O.Cycles;
+    mergeCounters(O);
+  }
+
+  /// Accumulates counters from a concurrently-running SM: cycles max.
+  void addConcurrent(const SimStats &O) {
+    Cycles = Cycles > O.Cycles ? Cycles : O.Cycles;
+    mergeCounters(O);
+  }
+
+private:
+  void mergeCounters(const SimStats &O) {
+    WarpInstsIssued += O.WarpInstsIssued;
+    ThreadInstsIssued += O.ThreadInstsIssued;
+    for (size_t I = 0; I < ThreadInstsByOpcode.size(); ++I)
+      ThreadInstsByOpcode[I] += O.ThreadInstsByOpcode[I];
+    GlobalBytes += O.GlobalBytes;
+    GlobalTransactions += O.GlobalTransactions;
+    ReplayPenalties += O.ReplayPenalties;
+    SharedConflictEvents += O.SharedConflictEvents;
+    BarrierWaits += O.BarrierWaits;
+    IdleCycles += O.IdleCycles;
+    DualIssues += O.DualIssues;
+  }
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SIM_STATS_H

@@ -1,0 +1,179 @@
+//===- sim/Timing.h - per-instruction issue cost model ----------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Issue-cost and latency rules. The SM simulator models four structural
+/// resources:
+///
+///  * per-scheduler dispatch ports: on Fermi each warp instruction holds
+///    its port for 2 cycles (16-wide units, 32-thread warps), which is
+///    exactly the "32 thread instructions per shader cycle per SM" issue
+///    ceiling of Table 1;
+///  * the Kepler SM-wide issue pipe with a sustained capacity of ~132
+///    useful thread instructions per cycle (Section 3.3), whose per-
+///    instruction cost grows with register bank conflicts and shrinks on
+///    the repeated-source fast path -- this reproduces Table 2;
+///  * the LD/ST pipe with width-dependent shared-memory costs
+///    (Section 4.1) scaled by the measured bank-conflict serialization;
+///  * a global-memory bandwidth pipe plus fixed latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SIM_TIMING_H
+#define GPUPERF_SIM_TIMING_H
+
+#include "arch/MachineDesc.h"
+#include "arch/RegisterBank.h"
+#include "isa/Instruction.h"
+#include "sim/Warp.h"
+
+namespace gpuperf {
+
+/// Issue-slot cost of one math/move warp instruction in units where the
+/// SM's math path sustains MathIssueSlotsPerCycle thread instructions per
+/// cycle at cost 1. Encodes the Kepler register-bank rules (Section 3.3):
+/// 2-way / 3-way source conflicts add slots, accumulator write-back adds a
+/// small turnaround, and repeated sources ride the ~178-peak fast path.
+inline double mathSlotCost(const MachineDesc &M, const Instruction &I) {
+  bool QuarterRate = opcodeInfo(I.Op).Class == OpClass::IntMulMath;
+  double Cost = QuarterRate ? M.QuarterRateSlots : 1.0;
+  if (M.RegisterFileBanks <= 0)
+    return Cost;
+
+  // Distinct source registers and their worst per-bank load.
+  RegList Distinct;
+  bool ImmSlot1 = I.immReplacesSrc1();
+  for (int Slot = 0; Slot < opcodeInfo(I.Op).NumSrcRegs; ++Slot) {
+    if (ImmSlot1 && Slot == 1)
+      continue;
+    uint8_t Reg = I.Src[Slot];
+    if (Reg == RegRZ || Distinct.contains(Reg))
+      continue;
+    Distinct.push(Reg);
+  }
+  int Conflict = bankConflictDegree(Distinct);
+
+  if (QuarterRate)
+    return Cost + std::max(0, Conflict - 2);
+
+  Cost += Conflict - 1;
+  if (I.dstIsAlsoSource())
+    Cost += M.AccumTurnaroundSlots;
+  // Repeated-source fast path: a shared read port frees issue bandwidth.
+  if (Conflict == 1 && I.numSourceSlots() > I.numDistinctSourceRegs() &&
+      M.RepeatedOperandPeak > M.MathIssueSlotsPerCycle)
+    Cost = M.MathIssueSlotsPerCycle / M.RepeatedOperandPeak;
+  return Cost;
+}
+
+/// Cycles the Kepler SM-wide issue pipe is occupied by \p I; 0 on
+/// architectures where the dispatch ports are the binding issue resource.
+inline double issuePipeCycles(const MachineDesc &M, const Instruction &I) {
+  if (M.Generation != GpuGeneration::Kepler)
+    return 0.0;
+  if (opcodeInfo(I.Op).Class == OpClass::Control)
+    return 0.0;
+  double Slots = 1.0;
+  switch (opcodeInfo(I.Op).Class) {
+  case OpClass::FloatMath:
+  case OpClass::IntMath:
+  case OpClass::IntMulMath:
+  case OpClass::Move:
+    Slots = mathSlotCost(M, I);
+    break;
+  default:
+    break;
+  }
+  return Slots * WarpSize / M.MathIssueSlotsPerCycle;
+}
+
+/// Dispatch-port occupancy in cycles (per scheduler). Fermi's 16-wide
+/// execution units hold the port 2 cycles per warp instruction; GT200's
+/// single scheduler issues one warp instruction every other shader cycle
+/// (one per core cycle).
+inline double dispatchPortCycles(const MachineDesc &M,
+                                 const Instruction &I) {
+  if (M.Generation == GpuGeneration::Kepler)
+    return 0.0; // Modeled by the per-cycle dispatch count + issue pipe.
+  return opcodeInfo(I.Op).Class == OpClass::Control ? 1.0 : 2.0;
+}
+
+/// SM-wide SP-pipeline occupancy in cycles for math instructions on
+/// pre-Kepler parts. On Fermi 32 SPs retire a warp instruction per cycle,
+/// which coincides with the dispatch-port limit; on GT200 only 8 SPs
+/// exist, so a math warp instruction holds the pipe 4 cycles while the
+/// scheduler has "free cycles to issue instructions to other functional
+/// units" (Section 4.2).
+inline double mathPipeCycles(const MachineDesc &M, const Instruction &I) {
+  if (M.Generation == GpuGeneration::Kepler)
+    return 0.0; // The issue pipe covers the math path.
+  switch (opcodeInfo(I.Op).Class) {
+  case OpClass::FloatMath:
+  case OpClass::IntMath:
+  case OpClass::IntMulMath:
+  case OpClass::Move: {
+    double Slots = opcodeInfo(I.Op).Class == OpClass::IntMulMath
+                       ? M.QuarterRateSlots
+                       : 1.0;
+    return Slots * WarpSize / M.SPsPerSM;
+  }
+  default:
+    return 0.0;
+  }
+}
+
+/// LD/ST pipe occupancy in cycles, before bank-conflict serialization.
+inline double ldstPipeCycles(const MachineDesc &M, const Instruction &I) {
+  OpClass Class = opcodeInfo(I.Op).Class;
+  if (Class == OpClass::GlobalMem)
+    return WarpSize / M.LdsThroughput32; // Address/coalescing phase.
+  if (Class != OpClass::SharedMem)
+    return 0.0;
+  switch (I.Width) {
+  case MemWidth::B32:
+    return WarpSize / M.LdsThroughput32;
+  case MemWidth::B64:
+    return WarpSize / M.LdsThroughput64;
+  case MemWidth::B128:
+    return WarpSize / M.LdsThroughput128;
+  }
+  return 0.0;
+}
+
+/// Cycles until the destination registers of \p I become readable, for
+/// non-global instructions (global loads complete via the memory pipe).
+inline int resultLatency(const MachineDesc &M, const Instruction &I) {
+  switch (opcodeInfo(I.Op).Class) {
+  case OpClass::SharedMem:
+    return M.SharedMemLatency;
+  case OpClass::GlobalMem:
+    return M.GlobalMemLatency;
+  default:
+    return M.MathLatency;
+  }
+}
+
+/// Global-memory bytes per shader cycle available to ONE SM (the chip
+/// bandwidth is shared evenly across SMs).
+inline double memBytesPerCyclePerSM(const MachineDesc &M) {
+  double BytesPerSecond = M.GlobalMemBandwidthGBs * 1e9;
+  double CyclesPerSecond = M.ShaderClockMHz * 1e6;
+  return BytesPerSecond / CyclesPerSecond / M.NumSMs;
+}
+
+/// Extra multiplier applied to shared-access serialization on widths whose
+/// base cost already includes an implicit conflict (Fermi LDS.128,
+/// Section 4.1: "normally leads to 2-way shared memory bank conflict").
+inline double implicitConflictAllowance(const MachineDesc &M,
+                                        const Instruction &I) {
+  if (M.Lds128Penalized && I.Width == MemWidth::B128)
+    return 2.0;
+  return 1.0;
+}
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SIM_TIMING_H

@@ -1,0 +1,94 @@
+//===- sim/Warp.h - per-warp architectural and timing state -----*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SIM_WARP_H
+#define GPUPERF_SIM_WARP_H
+
+#include "isa/Instruction.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gpuperf {
+
+/// Number of threads per warp (fixed across all three generations).
+inline constexpr int WarpSize = 32;
+
+/// Architectural plus timing state of one resident warp.
+struct WarpContext {
+  // --- Identity -----------------------------------------------------------
+  int BlockSlot = 0;   ///< Index into the SM's resident-block array.
+  int WarpInBlock = 0; ///< Warp index within its block.
+  uint32_t ActiveMask = 0xffffffffu; ///< Lanes holding real threads.
+
+  // --- Architectural state --------------------------------------------------
+  int PC = 0;
+  bool Done = false;
+  bool AtBarrier = false;
+  /// 63 GPRs x 32 lanes; index Reg * WarpSize + Lane. RZ is not stored.
+  std::vector<uint32_t> Regs;
+  /// Per-lane predicate bits, one 32-bit mask per predicate register.
+  std::array<uint32_t, NumPredRegs> Preds = {};
+
+  // --- Timing state ---------------------------------------------------------
+  /// Cycle at which each register's pending write completes.
+  std::array<uint64_t, 64> RegReady = {};
+  std::array<uint64_t, NumPredRegs> PredReady = {};
+  /// Warp may not issue before this cycle (control-notation stalls,
+  /// replay penalties).
+  uint64_t StallUntil = 0;
+  /// True when the previous instruction's notation set the yield flag:
+  /// scoreboard waits are free (no replay penalty) for the next issue.
+  bool NoPenaltyWait = false;
+  /// Round-robin ranking aid: cycle of last issue.
+  uint64_t LastIssue = 0;
+
+  void reset(int NumRegs) {
+    PC = 0;
+    Done = false;
+    AtBarrier = false;
+    Regs.assign(static_cast<size_t>(NumRegs) * WarpSize, 0);
+    Preds = {};
+    RegReady = {};
+    PredReady = {};
+    StallUntil = 0;
+    NoPenaltyWait = false;
+    LastIssue = 0;
+  }
+
+  uint32_t readReg(uint8_t Reg, int Lane) const {
+    if (Reg == RegRZ)
+      return 0;
+    return Regs[static_cast<size_t>(Reg) * WarpSize + Lane];
+  }
+  void writeReg(uint8_t Reg, int Lane, uint32_t Value) {
+    if (Reg == RegRZ)
+      return;
+    Regs[static_cast<size_t>(Reg) * WarpSize + Lane] = Value;
+  }
+  bool readPred(uint8_t Pred, int Lane) const {
+    if (Pred == PredPT)
+      return true;
+    return (Preds[Pred] >> Lane) & 1;
+  }
+  void writePred(uint8_t Pred, int Lane, bool Value) {
+    assert(Pred < NumPredRegs && "write to invalid predicate");
+    if (Value)
+      Preds[Pred] |= 1u << Lane;
+    else
+      Preds[Pred] &= ~(1u << Lane);
+  }
+  /// Guard evaluation for one lane.
+  bool guardTrue(const Instruction &I, int Lane) const {
+    bool P = readPred(I.GuardPred, Lane);
+    return I.GuardNeg ? !P : P;
+  }
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SIM_WARP_H

@@ -1,0 +1,115 @@
+//===- support/Error.h - recoverable-error utilities -----------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Expected<T>/Status pair for recoverable errors (malformed
+/// assembly, invalid kernel parameters). Library code does not use
+/// exceptions; programmatic errors are asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SUPPORT_ERROR_H
+#define GPUPERF_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gpuperf {
+
+/// Success-or-message result for operations with no payload.
+class Status {
+public:
+  /// Creates a success status.
+  static Status success() { return Status(); }
+
+  /// Creates a failure status carrying \p Message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  /// True when the status represents a failure.
+  bool failed() const { return Message.has_value(); }
+  explicit operator bool() const { return !failed(); }
+
+  /// Failure message; only valid when failed().
+  const std::string &message() const {
+    assert(failed() && "no message on success status");
+    return *Message;
+  }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// Value-or-message result. Holds either a T or an error string.
+template <typename T> class Expected {
+public:
+  Expected(T V) : Value(std::move(V)) {}
+  Expected(Status S) {
+    assert(S.failed() && "Expected constructed from success status");
+    Message = S.message();
+  }
+
+  /// Creates a failure result carrying \p Msg.
+  static Expected<T> error(std::string Msg) {
+    Expected<T> E;
+    E.Message = std::move(Msg);
+    return E;
+  }
+
+  /// True on success.
+  explicit operator bool() const { return Value.has_value(); }
+  bool hasValue() const { return Value.has_value(); }
+
+  /// Access to the contained value; only valid on success.
+  T &operator*() {
+    assert(Value && "dereferencing failed Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing failed Expected");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing failed Expected");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing failed Expected");
+    return &*Value;
+  }
+
+  /// Moves the contained value out; only valid on success.
+  T take() {
+    assert(Value && "taking from failed Expected");
+    return std::move(*Value);
+  }
+
+  /// Failure message; only valid on failure.
+  const std::string &message() const {
+    assert(!Value && "no message on success");
+    return Message;
+  }
+
+  /// Converts the failure into a Status (must be a failure).
+  Status takeStatus() const {
+    assert(!Value && "takeStatus on success");
+    return Status::error(Message);
+  }
+
+private:
+  Expected() = default;
+  std::optional<T> Value;
+  std::string Message;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SUPPORT_ERROR_H

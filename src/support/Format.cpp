@@ -1,0 +1,37 @@
+//===- support/Format.cpp - printf-style string formatting ---------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+using namespace gpuperf;
+
+std::string gpuperf::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  assert(Needed >= 0 && "invalid format string");
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  // +1 for the terminating NUL vsnprintf always writes.
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, Args);
+  return Result;
+}
+
+std::string gpuperf::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}
+
+std::string gpuperf::formatDouble(double Value, int Decimals) {
+  return formatString("%.*f", Decimals, Value);
+}

@@ -1,0 +1,33 @@
+//===- support/Format.h - printf-style string formatting -------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small printf-style formatting helpers returning std::string, used by the
+/// assembler diagnostics, the disassembler, and the bench table printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SUPPORT_FORMAT_H
+#define GPUPERF_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace gpuperf {
+
+/// Formats \p Fmt with printf semantics into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+/// Renders \p Value with \p Decimals fraction digits (fixed notation).
+std::string formatDouble(double Value, int Decimals);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SUPPORT_FORMAT_H

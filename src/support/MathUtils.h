@@ -1,0 +1,40 @@
+//===- support/MathUtils.h - small integer math helpers --------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SUPPORT_MATHUTILS_H
+#define GPUPERF_SUPPORT_MATHUTILS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gpuperf {
+
+/// Ceiling division for non-negative integers.
+constexpr uint64_t divideCeil(uint64_t Numerator, uint64_t Denominator) {
+  return (Numerator + Denominator - 1) / Denominator;
+}
+
+/// Rounds \p Value up to the next multiple of \p Align (Align > 0).
+constexpr uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  return divideCeil(Value, Align) * Align;
+}
+
+/// True when \p Value is a power of two (0 is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// Integer square root (largest R with R*R <= Value).
+constexpr uint64_t intSqrt(uint64_t Value) {
+  uint64_t R = 0;
+  while ((R + 1) * (R + 1) <= Value)
+    ++R;
+  return R;
+}
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SUPPORT_MATHUTILS_H

@@ -1,0 +1,78 @@
+//===- support/Rng.h - deterministic random numbers ------------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small xorshift-based RNG so tests and benches are reproducible across
+/// platforms (std::mt19937 would also be deterministic, but distributions
+/// are not portable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SUPPORT_RNG_H
+#define GPUPERF_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gpuperf {
+
+/// xorshift128+ generator with portable helpers for floats and ranges.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding to avoid weak low-entropy states.
+    auto Next = [&Seed]() {
+      Seed += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      return Z ^ (Z >> 31);
+    };
+    State0 = Next();
+    State1 = Next();
+    if (State0 == 0 && State1 == 0)
+      State1 = 1;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t S1 = State0;
+    uint64_t S0 = State1;
+    State0 = S0;
+    S1 ^= S1 << 23;
+    State1 = S1 ^ S0 ^ (S1 >> 18) ^ (S0 >> 5);
+    return State1 + S0;
+  }
+
+  /// Uniform value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform float in [-1, 1], exactly representable steps.
+  float nextUnitFloat() {
+    // 2^20 steps keeps products exactly accumulable in float for small K.
+    return (static_cast<float>(nextBelow(1u << 21)) -
+            static_cast<float>(1u << 20)) /
+           static_cast<float>(1u << 20);
+  }
+
+private:
+  uint64_t State0;
+  uint64_t State1;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SUPPORT_RNG_H

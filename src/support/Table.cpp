@@ -1,0 +1,77 @@
+//===- support/Table.cpp - column-aligned text tables ---------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace gpuperf;
+
+void Table::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+/// \returns true when \p Cell looks like a number (for right alignment).
+static bool looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  for (char C : Cell)
+    if (!std::isdigit(static_cast<unsigned char>(C)) && C != '.' &&
+        C != '-' && C != '+' && C != '%' && C != 'e' && C != 'x')
+      return false;
+  return true;
+}
+
+std::string Table::render() const {
+  size_t NumCols = Header.size();
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  auto Measure = [&Widths](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Measure(Header);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      const std::string &Cell = Row[I];
+      size_t Pad = Widths[I] - Cell.size();
+      if (looksNumeric(Cell))
+        Out.append(Pad, ' ');
+      Out += Cell;
+      if (!looksNumeric(Cell))
+        Out.append(Pad, ' ');
+      if (I + 1 != Row.size())
+        Out += "  ";
+    }
+    // Trim trailing spaces.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  if (!Header.empty()) {
+    Emit(Header);
+    size_t Total = 0;
+    for (size_t I = 0; I < NumCols; ++I)
+      Total += Widths[I] + (I + 1 != NumCols ? 2 : 0);
+    Out.append(Total, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}

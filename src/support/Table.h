@@ -1,0 +1,40 @@
+//===- support/Table.h - column-aligned text tables ------------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple column-aligned table printer used by the bench binaries to
+/// regenerate the paper's tables and figure series as text rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SUPPORT_TABLE_H
+#define GPUPERF_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+class Table {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table; numeric-looking cells are right-aligned.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SUPPORT_TABLE_H

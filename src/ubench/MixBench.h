@@ -1,0 +1,68 @@
+//===- ubench/MixBench.h - FFMA/LDS.X instruction-mix benchmarks -*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the paper's assembly-level microbenchmarks (Section 3.3 and
+/// 4.1-4.3): straight-line kernels mixing FFMA with LDS/LDS.64/LDS.128 at a
+/// chosen ratio, with either independent instructions or the SGEMM-like
+/// pattern where the FFMAs depend on the preceding shared-memory load.
+/// Register operands are chosen bank-conflict-free so the measurements
+/// isolate the scheduler/pipe limits (Figure 2 and Figure 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_UBENCH_MIXBENCH_H
+#define GPUPERF_UBENCH_MIXBENCH_H
+
+#include "arch/MachineDesc.h"
+#include "asmtool/NotationTuner.h"
+#include "isa/Module.h"
+#include "sim/Launcher.h"
+
+namespace gpuperf {
+
+/// Parameters of one instruction-mix benchmark kernel.
+struct MixBenchParams {
+  /// FFMA instructions per LDS.X; -1 = pure FFMA, 0 = pure LDS.X.
+  int FfmaPerLds = 6;
+  MemWidth Width = MemWidth::B64;
+  /// When true, the FFMAs consume the value loaded by the preceding
+  /// LDS.X (the SGEMM main-loop pattern of Figure 4).
+  bool Dependent = false;
+  /// Dependent mode: when true the FFMAs consume the *previous* group's
+  /// load (the software-pipelined structure of real kernels, used by the
+  /// model's FT lookup); when false they consume the load just issued
+  /// (the paper's Figure 4 benchmark structure).
+  bool PipelinedConsume = false;
+  /// Number of independent accumulator chains in dependent mode. The
+  /// paper's Figure 4 benchmark is tightly chained (2); a register-blocked
+  /// SGEMM loop with factor BR has ~BR independent accumulator chains per
+  /// load, which the model uses when estimating FT for larger BR.
+  int DepChains = 2;
+  /// Approximate unrolled body length in instructions.
+  int BodyInsts = 2048;
+  /// Kepler scheduling-hint quality.
+  NotationQuality Notation = NotationQuality::Tuned;
+};
+
+/// Generates the benchmark kernel for machine \p M.
+Kernel generateMixBench(const MachineDesc &M, const MixBenchParams &P);
+
+/// Execution-shape knobs for throughput measurements.
+struct MeasureConfig {
+  int ThreadsPerBlock = 1024;
+  int BlocksPerSM = 2;
+};
+
+/// Runs \p K with saturating (or explicitly chosen) occupancy and returns
+/// issued thread-instructions per cycle per SM (the y-axis of Figures 2
+/// and 4). Aborts the process on launch errors (programmatic misuse).
+double measureThroughput(const MachineDesc &M, const Kernel &K,
+                         const MeasureConfig &Cfg = MeasureConfig());
+
+} // namespace gpuperf
+
+#endif // GPUPERF_UBENCH_MIXBENCH_H

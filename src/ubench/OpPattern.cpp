@@ -1,0 +1,89 @@
+//===- ubench/OpPattern.cpp - Table 2 operand-pattern benchmarks ----------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ubench/OpPattern.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace gpuperf;
+
+Kernel gpuperf::generateOpPatternBench(const MachineDesc &M,
+                                       const Instruction &Pattern,
+                                       int BodyInsts, int Copies,
+                                       NotationQuality Q) {
+  assert(Copies >= 1 && Copies <= 6 && "unreasonable copy count");
+  Kernel K;
+  K.Name = "oppattern";
+  K.SharedBytes = 0;
+
+  // Initialize every register the renamed patterns touch so float inputs
+  // are benign (1.0f) rather than denormal garbage.
+  RegList Touched;
+  for (uint8_t Reg : Pattern.sourceRegs())
+    Touched.push(Reg);
+  for (uint8_t Reg : Pattern.destRegs())
+    Touched.push(Reg);
+  for (int Copy = 0; Copy < Copies; ++Copy)
+    for (uint8_t Reg : Touched) {
+      uint8_t Renamed = static_cast<uint8_t>(Reg + 8 * Copy);
+      assert(Renamed <= MaxGPRIndex && "renamed register out of range");
+      K.Code.push_back(makeMOV32I(Renamed, 0x3f800000u));
+    }
+
+  // Unrolled body: round-robin over the independent renamed copies.
+  auto Renamed = [&](int Copy) {
+    Instruction I = Pattern;
+    int Delta = 8 * Copy;
+    if (I.Dst != RegRZ)
+      I.Dst = static_cast<uint8_t>(I.Dst + Delta);
+    for (int S = 0; S < 3; ++S)
+      if (I.Src[S] != RegRZ)
+        I.Src[S] = static_cast<uint8_t>(I.Src[S] + Delta);
+    return I;
+  };
+  for (int Emitted = 0; Emitted < BodyInsts; ++Emitted)
+    K.Code.push_back(Renamed(Emitted % Copies));
+
+  K.Code.push_back(makeEXIT());
+  K.recomputeRegUsage();
+  tuneNotations(M, K, Q);
+  return K;
+}
+
+std::vector<Table2Row> gpuperf::table2Patterns() {
+  std::vector<Table2Row> Rows;
+  auto Add = [&Rows](const char *Syntax, double Paper, Instruction I) {
+    Table2Row Row;
+    Row.Syntax = Syntax;
+    Row.PaperThroughput = Paper;
+    Row.Pattern = I;
+    Rows.push_back(Row);
+  };
+  // Column 1 of the paper's Table 2.
+  Add("FADD R0, R1, R0", 128.7, makeFADD(0, 1, 0));
+  Add("FMUL R0, R1, R0", 129.0, makeFMUL(0, 1, 0));
+  Add("FFMA R0, R1, R4, R0", 129.0, makeFFMA(0, 1, 4, 0));
+  Add("IADD R0, R1, R0", 128.7, makeIADD(0, 1, 0));
+  Add("IMUL R0, R1, R0", 33.2, makeIMUL(0, 1, 0));
+  Add("IMAD R0, R1, R4, R0", 33.2, makeIMAD(0, 1, 4, 0));
+  // Column 2.
+  Add("FADD R0, R1, R2", 132.0, makeFADD(0, 1, 2));
+  Add("FADD R0, R1, R3", 66.2, makeFADD(0, 1, 3));
+  Add("FMUL R0, R1, R2", 132.0, makeFMUL(0, 1, 2));
+  Add("FMUL R0, R1, R3", 66.2, makeFMUL(0, 1, 3));
+  Add("FFMA R0, R1, R4, R5", 132.0, makeFFMA(0, 1, 4, 5));
+  Add("FFMA R0, R1, R3, R5", 66.2, makeFFMA(0, 1, 3, 5));
+  Add("FFMA R0, R1, R3, R9", 44.2, makeFFMA(0, 1, 3, 9));
+  Add("IADD R0, R1, R2", 132.4, makeIADD(0, 1, 2));
+  Add("IMUL R0, R1, R2", 33.2, makeIMUL(0, 1, 2));
+  Add("IMUL R0, R1, R3", 33.2, makeIMUL(0, 1, 3));
+  Add("IMAD R0, R1, R4, R5", 33.1, makeIMAD(0, 1, 4, 5));
+  Add("IMAD R0, R1, R3, R5", 33.2, makeIMAD(0, 1, 3, 5));
+  Add("IMAD R0, R1, R3, R9", 26.5, makeIMAD(0, 1, 3, 9));
+  return Rows;
+}

@@ -1,0 +1,48 @@
+//===- ubench/OpPattern.h - Table 2 operand-pattern benchmarks ---*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the paper's Table 2 benchmarks: "each thread executes the same
+/// 8192 math instructions", implemented (per the paper's footnote) as 4
+/// register-renamed independent copies of the pattern unrolled. Renaming
+/// adds multiples of 8 to every register index, which preserves the bank
+/// mapping (bank layout has period 8), so a pattern's conflict behaviour is
+/// exactly replicated across the copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_UBENCH_OPPATTERN_H
+#define GPUPERF_UBENCH_OPPATTERN_H
+
+#include "arch/MachineDesc.h"
+#include "asmtool/NotationTuner.h"
+#include "isa/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+/// Builds the unrolled benchmark for one instruction pattern.
+/// \p Pattern must only use registers < 8*Copies below the renaming cap.
+Kernel generateOpPatternBench(const MachineDesc &M,
+                              const Instruction &Pattern,
+                              int BodyInsts = 2048, int Copies = 4,
+                              NotationQuality Q = NotationQuality::Tuned);
+
+/// A row of the paper's Table 2: a pattern and its measured throughput.
+struct Table2Row {
+  std::string Syntax;          ///< e.g. "FFMA R0, R1, R3, R9"
+  double PaperThroughput = 0;  ///< Paper-reported ops/shader cycle.
+  Instruction Pattern;
+};
+
+/// The 14 patterns of Table 2 with the paper's measured values.
+std::vector<Table2Row> table2Patterns();
+
+} // namespace gpuperf
+
+#endif // GPUPERF_UBENCH_OPPATTERN_H

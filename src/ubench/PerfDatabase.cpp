@@ -1,0 +1,57 @@
+//===- ubench/PerfDatabase.cpp - measured-throughput database -------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ubench/PerfDatabase.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gpuperf;
+
+double PerfDatabase::mixThroughput(int FfmaPerLds, MemWidth Width,
+                                   bool Dependent, int ActiveThreads,
+                                   int DepChains, bool Pipelined) {
+  assert(ActiveThreads >= WarpSize && "need at least one warp");
+  auto Key = std::make_tuple(FfmaPerLds, static_cast<int>(Width),
+                             Dependent, ActiveThreads, DepChains,
+                             Pipelined);
+  if (auto It = Cache.find(Key); It != Cache.end())
+    return It->second;
+
+  MixBenchParams P;
+  P.FfmaPerLds = FfmaPerLds;
+  P.Width = Width;
+  P.Dependent = Dependent;
+  P.DepChains = DepChains;
+  P.PipelinedConsume = Pipelined;
+  Kernel K = generateMixBench(M, P);
+
+  MeasureConfig Cfg;
+  if (ActiveThreads <= M.MaxThreadsPerBlock) {
+    Cfg.ThreadsPerBlock = ActiveThreads;
+    Cfg.BlocksPerSM = 1;
+  } else {
+    Cfg.BlocksPerSM =
+        (ActiveThreads + M.MaxThreadsPerBlock - 1) / M.MaxThreadsPerBlock;
+    Cfg.ThreadsPerBlock = ActiveThreads / Cfg.BlocksPerSM;
+  }
+  double T = measureThroughput(M, K, Cfg);
+  Cache[Key] = T;
+  return T;
+}
+
+double PerfDatabase::mixThroughputSaturated(int FfmaPerLds, MemWidth Width,
+                                            bool Dependent) {
+  // The benchmark kernels use 32 registers/thread, so the register file
+  // bounds the reachable occupancy: 1024 threads on Fermi (32K regs),
+  // 2048 on Kepler (64K regs).
+  int Threads = std::min(M.MaxThreadsPerSM, M.RegistersPerSM / 32);
+  return mixThroughput(FfmaPerLds, Width, Dependent, Threads);
+}
+
+double PerfDatabase::ffmaPeak() {
+  return mixThroughputSaturated(-1, MemWidth::B64, false);
+}

@@ -1,0 +1,59 @@
+//===- ubench/PerfDatabase.h - measured-throughput database -----*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoizing store of microbenchmark measurements. The paper's analytical
+/// model does not hard-code throughputs: it consumes numbers *measured* by
+/// assembly-level benchmarks on the target machine (Section 5.5 proposes
+/// exactly such "a small database of performance references"). This class
+/// is that database; the model library queries it and the benchmarks print
+/// from it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_UBENCH_PERFDATABASE_H
+#define GPUPERF_UBENCH_PERFDATABASE_H
+
+#include "ubench/MixBench.h"
+
+#include <map>
+#include <tuple>
+
+namespace gpuperf {
+
+/// Lazily-measured throughput database for one machine.
+class PerfDatabase {
+public:
+  explicit PerfDatabase(const MachineDesc &M) : M(M) {}
+
+  /// Thread-instruction throughput of the FFMA:LDS.X mix benchmark
+  /// (Figures 2 and 4) at the given active-thread count per SM.
+  /// \p DepChains is the accumulator-chain count of the dependent
+  /// pattern (2 = the paper's Figure 4 structure). Memoized.
+  /// \p Pipelined selects previous-load consumption (see MixBenchParams).
+  double mixThroughput(int FfmaPerLds, MemWidth Width, bool Dependent,
+                       int ActiveThreads, int DepChains = 2,
+                       bool Pipelined = false);
+
+  /// Saturated-occupancy mix throughput (2048 threads on Kepler, 1536 on
+  /// Fermi -- clamped to what the benchmark kernel's registers allow).
+  double mixThroughputSaturated(int FfmaPerLds, MemWidth Width,
+                                bool Dependent);
+
+  /// Pure-FFMA thread-instruction throughput (conflict-free operands).
+  double ffmaPeak();
+
+  /// The machine this database measures.
+  const MachineDesc &machine() const { return M; }
+
+private:
+  const MachineDesc &M;
+  std::map<std::tuple<int, int, bool, int, int, bool>, double> Cache;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_UBENCH_PERFDATABASE_H

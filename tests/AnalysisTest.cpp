@@ -1,0 +1,96 @@
+//===- tests/AnalysisTest.cpp - static binary analysis tests --------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BinaryAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuperf;
+
+namespace {
+
+Kernel kernelWith(std::vector<Instruction> Code) {
+  Kernel K;
+  K.Name = "t";
+  K.Code = std::move(Code);
+  K.recomputeRegUsage();
+  return K;
+}
+
+} // namespace
+
+TEST(InstructionMixAnalysis, CountsByClass) {
+  Kernel K = kernelWith({
+      makeFFMA(8, 0, 4, 8),
+      makeFFMA(9, 1, 5, 9),
+      makeFADD(10, 0, 4),
+      makeIADDImm(2, 2, 1),
+      makeLDS(MemWidth::B64, 12, 3, 0),
+      makeLD(MemWidth::B32, 14, 3, 0),
+      makeMOV(1, 2),
+      makeBAR(),
+      makeEXIT(),
+  });
+  InstructionMix Mix = analyzeInstructionMix(K);
+  EXPECT_EQ(Mix.Total, 9);
+  EXPECT_EQ(Mix.count(Opcode::FFMA), 2);
+  EXPECT_EQ(Mix.FloatMath, 3);
+  EXPECT_EQ(Mix.IntMath, 1);
+  EXPECT_EQ(Mix.SharedMem, 1);
+  EXPECT_EQ(Mix.GlobalMem, 1);
+  EXPECT_EQ(Mix.Move, 1);
+  EXPECT_EQ(Mix.Control, 2);
+  EXPECT_NEAR(Mix.ffmaPercent(), 100.0 * 2 / 9, 1e-9);
+}
+
+TEST(InstructionMixAnalysis, EmptyKernel) {
+  Kernel K = kernelWith({});
+  InstructionMix Mix = analyzeInstructionMix(K);
+  EXPECT_EQ(Mix.Total, 0);
+  EXPECT_EQ(Mix.ffmaPercent(), 0.0);
+}
+
+TEST(ConflictCensus, ClassifiesDegrees) {
+  Kernel K = kernelWith({
+      makeFFMA(8, 1, 4, 5),  // banks O0, E1, O1: conflict-free.
+      makeFFMA(8, 1, 3, 5),  // R1 and R3 both odd0: 2-way.
+      makeFFMA(8, 1, 3, 9),  // R1, R3, R9 all odd0: 3-way.
+      makeFADD(8, 1, 3),     // Not an FFMA: ignored.
+  });
+  FfmaConflictCensus C = analyzeFfmaConflicts(K);
+  EXPECT_EQ(C.Ffma, 3);
+  EXPECT_EQ(C.NoConflict, 1);
+  EXPECT_EQ(C.TwoWay, 1);
+  EXPECT_EQ(C.ThreeWay, 1);
+  EXPECT_NEAR(C.twoWayPercent(), 100.0 / 3, 1e-9);
+}
+
+TEST(ConflictCensus, RepeatedSourceIsNotAConflict) {
+  // FFMA RA, RB, RB, RA: repeated registers share a read port, so only
+  // distinct registers count (Section 3.3).
+  Kernel K = kernelWith({makeFFMA(4, 3, 3, 4)});
+  FfmaConflictCensus C = analyzeFfmaConflicts(K);
+  EXPECT_EQ(C.NoConflict, 1);
+}
+
+TEST(ConflictCensus, RZDoesNotCount) {
+  Kernel K = kernelWith({makeFFMA(8, 1, RegRZ, 5)});
+  FfmaConflictCensus C = analyzeFfmaConflicts(K);
+  EXPECT_EQ(C.NoConflict, 1);
+}
+
+TEST(KernelReport, MentionsKeyFacts) {
+  Kernel K = kernelWith({
+      makeFFMA(8, 1, 4, 5),
+      makeLDS(MemWidth::B64, 12, 3, 0),
+      makeEXIT(),
+  });
+  K.SharedBytes = 1024;
+  std::string Report = renderKernelReport(K);
+  EXPECT_NE(Report.find("3 instructions"), std::string::npos);
+  EXPECT_NE(Report.find("1024 bytes shared"), std::string::npos);
+  EXPECT_NE(Report.find("FFMA bank conflicts"), std::string::npos);
+}

@@ -1,0 +1,326 @@
+//===- tests/AsmToolTest.cpp - assembler/disassembler unit tests ----------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmtool/Assembler.h"
+#include "asmtool/Disassembler.h"
+#include "isa/Encoding.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuperf;
+
+namespace {
+
+Module mustAssemble(const std::string &Source) {
+  auto M = assembleText(Source);
+  if (!M.hasValue()) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return M.take();
+}
+
+std::string assembleError(const std::string &Source) {
+  auto M = assembleText(Source);
+  EXPECT_FALSE(M.hasValue()) << "expected assembly to fail";
+  return M.hasValue() ? "" : M.message();
+}
+
+} // namespace
+
+TEST(Assembler, MinimalKernel) {
+  Module M = mustAssemble(".arch GTX580\n"
+                          ".kernel k\n"
+                          "  EXIT\n"
+                          ".end\n");
+  EXPECT_EQ(M.Arch, GpuGeneration::Fermi);
+  ASSERT_EQ(M.Kernels.size(), 1u);
+  ASSERT_EQ(M.Kernels[0].Code.size(), 1u);
+  EXPECT_EQ(M.Kernels[0].Code[0].Op, Opcode::EXIT);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  Module M = mustAssemble("// leading comment\n"
+                          ".arch GTX580\n\n"
+                          ".kernel k  // inline comment\n"
+                          "  NOP # hash comment\n"
+                          "  EXIT\n"
+                          ".end\n");
+  EXPECT_EQ(M.Kernels[0].Code.size(), 2u);
+}
+
+TEST(Assembler, AllOperandForms) {
+  Module M = mustAssemble(
+      ".arch GTX580\n"
+      ".kernel k\n"
+      ".shared 1024\n"
+      "  S2R R0, SR_TID.X\n"
+      "  S2R R1, SR_CTAID.Y\n"
+      "  MOV32I R2, 0xdeadbeef\n"
+      "  LDC R3, c[0x10]\n"
+      "  MOV R4, R2\n"
+      "  FFMA R5, R4, R3, R5\n"
+      "  FADD R6, R5, RZ\n"
+      "  IADD R7, R7, -16\n"
+      "  IMAD R8, R0, 48, R7\n"
+      "  ISCADD R9, R0, R8, 2\n"
+      "  SHL R10, R0, 4\n"
+      "  LOP.XOR R11, R11, 0x1000\n"
+      "  LDS.64 R12, [R9+8]\n"
+      "  STS [R9], R12\n"
+      "  LD.128 R16, [R2+16]\n"
+      "  ST [R2], R16\n"
+      "  ISETP.LT P0, R7, RZ\n"
+      "  @!P0 BRA done\n"
+      "  BAR.SYNC\n"
+      "done:\n"
+      "  EXIT\n"
+      ".end\n");
+  const Kernel &K = M.Kernels[0];
+  ASSERT_EQ(K.Code.size(), 20u);
+  EXPECT_EQ(K.SharedBytes, 1024);
+  // @!P0 BRA done: offset from instruction 17 to 19 is +1.
+  const Instruction &Bra = K.Code[17];
+  EXPECT_EQ(Bra.Op, Opcode::BRA);
+  EXPECT_EQ(Bra.Imm, 1);
+  EXPECT_TRUE(Bra.GuardNeg);
+  EXPECT_EQ(Bra.GuardPred, 0);
+}
+
+TEST(Assembler, BackwardBranch) {
+  Module M = mustAssemble(".arch GTX580\n"
+                          ".kernel k\n"
+                          "loop:\n"
+                          "  IADD R0, R0, -1\n"
+                          "  ISETP.NE P0, R0, RZ\n"
+                          "  @P0 BRA loop\n"
+                          "  EXIT\n"
+                          ".end\n");
+  // From instruction 2 back to instruction 0: offset -3.
+  EXPECT_EQ(M.Kernels[0].Code[2].Imm, -3);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  Module M = mustAssemble(".arch GTX580\n"
+                          ".kernel k\n"
+                          "top: IADD R0, R0, 1\n"
+                          "  BRA top\n"
+                          ".end\n");
+  EXPECT_EQ(M.Kernels[0].Code[1].Imm, -2);
+}
+
+TEST(Assembler, RegUsageRecomputed) {
+  Module M = mustAssemble(".arch GTX580\n"
+                          ".kernel k\n"
+                          "  FFMA R40, R1, R2, R40\n"
+                          "  EXIT\n"
+                          ".end\n");
+  EXPECT_EQ(M.Kernels[0].RegsPerThread, 41);
+}
+
+TEST(Assembler, DeclaredRegsOverride) {
+  Module M = mustAssemble(".arch GTX580\n"
+                          ".kernel k\n"
+                          ".regs 63\n"
+                          "  MOV R0, R1\n"
+                          "  EXIT\n"
+                          ".end\n");
+  EXPECT_EQ(M.Kernels[0].RegsPerThread, 63);
+}
+
+TEST(Assembler, MultipleKernels) {
+  Module M = mustAssemble(".arch GTX680\n"
+                          ".kernel a\n  EXIT\n.end\n"
+                          ".kernel b\n  NOP\n  EXIT\n.end\n");
+  EXPECT_EQ(M.Kernels.size(), 2u);
+  EXPECT_NE(M.findKernel("a"), nullptr);
+  EXPECT_NE(M.findKernel("b"), nullptr);
+}
+
+TEST(Assembler, KeplerAnnotations) {
+  Module M = mustAssemble(".arch GTX680\n"
+                          ".kernel k\n"
+                          ".notation default\n"
+                          "  FFMA R0, R1, R4, R5 {s:2,y,d}\n"
+                          "  EXIT\n"
+                          ".end\n");
+  const Kernel &K = M.Kernels[0];
+  ASSERT_TRUE(K.hasNotations());
+  EXPECT_EQ(K.Notations[0].Fields[0].StallCycles, 2);
+  EXPECT_TRUE(K.Notations[0].Fields[0].Yield);
+  EXPECT_TRUE(K.Notations[0].Fields[0].DualIssue);
+  EXPECT_EQ(K.Notations[0].Fields[1].StallCycles, 0);
+}
+
+TEST(Assembler, AnnotationImpliesNotations) {
+  Module M = mustAssemble(".arch GTX680\n"
+                          ".kernel k\n"
+                          "  FFMA R0, R1, R4, R5 {s:1}\n"
+                          "  EXIT\n"
+                          ".end\n");
+  EXPECT_TRUE(M.Kernels[0].hasNotations());
+}
+
+// --- Error diagnostics -----------------------------------------------------
+
+TEST(AssemblerErrors, MissingArch) {
+  std::string E = assembleError(".kernel k\n  EXIT\n.end\n");
+  EXPECT_NE(E.find("missing .arch"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  std::string E = assembleError(".arch GTX580\n.kernel k\n  FROB R0\n");
+  EXPECT_NE(E.find("line 3"), std::string::npos);
+  EXPECT_NE(E.find("FROB"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedLabel) {
+  std::string E =
+      assembleError(".arch GTX580\n.kernel k\n  BRA nowhere\n.end\n");
+  EXPECT_NE(E.find("undefined label 'nowhere'"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  std::string E = assembleError(
+      ".arch GTX580\n.kernel k\nx:\n  NOP\nx:\n  EXIT\n.end\n");
+  EXPECT_NE(E.find("redefinition"), std::string::npos);
+}
+
+TEST(AssemblerErrors, RegisterOutOfRange) {
+  // R63 does not exist as a GPR name (RZ is the only alias).
+  std::string E =
+      assembleError(".arch GTX580\n.kernel k\n  MOV R63, R0\n.end\n");
+  EXPECT_NE(E.find("line 3"), std::string::npos);
+}
+
+TEST(AssemblerErrors, MisalignedWideRegister) {
+  std::string E = assembleError(
+      ".arch GTX580\n.kernel k\n.shared 64\n  LDS.64 R3, [R0]\n.end\n");
+  EXPECT_NE(E.find("aligned"), std::string::npos);
+}
+
+TEST(AssemblerErrors, MisalignedWideOffset) {
+  std::string E = assembleError(
+      ".arch GTX580\n.kernel k\n.shared 64\n  LDS.128 R4, [R0+8]\n.end\n");
+  EXPECT_NE(E.find("aligned"), std::string::npos);
+}
+
+TEST(AssemblerErrors, AnnotationOnFermi) {
+  std::string E = assembleError(
+      ".arch GTX580\n.kernel k\n  FFMA R0, R1, R2, R3 {s:1}\n.end\n");
+  EXPECT_NE(E.find("Kepler"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ImmediateTooLarge) {
+  std::string E = assembleError(
+      ".arch GTX580\n.kernel k\n  IADD R0, R0, 0x1000000\n.end\n");
+  EXPECT_NE(E.find("24-bit"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ImmediateInWrongSlot) {
+  std::string E = assembleError(
+      ".arch GTX580\n.kernel k\n  FFMA R0, R1, 3, R2\n.end\n");
+  EXPECT_NE(E.find("immediate not allowed"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DeclaredRegsTooSmall) {
+  std::string E = assembleError(".arch GTX580\n.kernel k\n.regs 4\n"
+                                "  MOV R10, R1\n  EXIT\n.end\n");
+  EXPECT_NE(E.find("declares"), std::string::npos);
+}
+
+TEST(AssemblerErrors, PTNotWritable) {
+  std::string E = assembleError(
+      ".arch GTX580\n.kernel k\n  ISETP.EQ PT, R0, R1\n.end\n");
+  EXPECT_NE(E.find("not a valid ISETP destination"), std::string::npos);
+}
+
+// --- Disassembler round trips -------------------------------------------------
+
+namespace {
+
+bool modulesEqual(const Module &A, const Module &B) {
+  if (A.Arch != B.Arch || A.Kernels.size() != B.Kernels.size())
+    return false;
+  for (size_t KI = 0; KI < A.Kernels.size(); ++KI) {
+    const Kernel &KA = A.Kernels[KI];
+    const Kernel &KB = B.Kernels[KI];
+    if (KA.Name != KB.Name || KA.Code.size() != KB.Code.size() ||
+        KA.SharedBytes != KB.SharedBytes ||
+        KA.RegsPerThread != KB.RegsPerThread)
+      return false;
+    for (size_t I = 0; I < KA.Code.size(); ++I)
+      if (encodeInstruction(KA.Code[I]) != encodeInstruction(KB.Code[I]))
+        return false;
+    if (KA.Notations.size() != KB.Notations.size())
+      return false;
+    for (size_t I = 0; I < KA.Notations.size(); ++I)
+      if (!(KA.Notations[I] == KB.Notations[I]))
+        return false;
+  }
+  return true;
+}
+
+} // namespace
+
+TEST(Disassembler, RoundTripFermi) {
+  Module M = mustAssemble(".arch GTX580\n"
+                          ".kernel k\n"
+                          ".shared 512\n"
+                          "  S2R R0, SR_TID.X\n"
+                          "  MOV32I R1, 0x40\n"
+                          "loop:\n"
+                          "  LDS.64 R2, [R0+8]\n"
+                          "  FFMA R4, R2, R3, R4\n"
+                          "  IADD R1, R1, -1\n"
+                          "  ISETP.NE P0, R1, RZ\n"
+                          "  @P0 BRA loop\n"
+                          "  ST [R5], R4\n"
+                          "  EXIT\n"
+                          ".end\n");
+  std::string Text = disassembleModule(M);
+  auto Back = assembleText(Text);
+  ASSERT_TRUE(Back.hasValue()) << Back.message() << "\n" << Text;
+  EXPECT_TRUE(modulesEqual(M, *Back)) << Text;
+}
+
+TEST(Disassembler, RoundTripKeplerWithNotations) {
+  Module M = mustAssemble(".arch GTX680\n"
+                          ".kernel k\n"
+                          ".notation default\n"
+                          "  FFMA R0, R1, R4, R5 {s:3,d}\n"
+                          "  FADD R2, R1, R4 {y}\n"
+                          "  EXIT\n"
+                          ".end\n");
+  std::string Text = disassembleModule(M);
+  auto Back = assembleText(Text);
+  ASSERT_TRUE(Back.hasValue()) << Back.message() << "\n" << Text;
+  EXPECT_TRUE(modulesEqual(M, *Back)) << Text;
+}
+
+TEST(Disassembler, BranchTargetsBecomeLabels) {
+  Module M = mustAssemble(".arch GTX580\n.kernel k\n"
+                          "top:\n  IADD R0, R0, 1\n  BRA top\n.end\n");
+  std::string Text = disassembleKernel(M.Kernels[0]);
+  EXPECT_NE(Text.find("L0:"), std::string::npos);
+  EXPECT_NE(Text.find("BRA L0"), std::string::npos);
+}
+
+TEST(Disassembler, SerializedRoundTrip) {
+  // Full pipeline: text -> module -> binary -> module -> text -> module.
+  Module M = mustAssemble(".arch GTX680\n"
+                          ".kernel k\n"
+                          ".notation default\n"
+                          "  MOV32I R0, 0x3f800000\n"
+                          "  FFMA R1, R0, R0, R1 {s:1}\n"
+                          "  EXIT\n"
+                          ".end\n");
+  auto FromBinary = Module::deserialize(M.serialize());
+  ASSERT_TRUE(FromBinary.hasValue()) << FromBinary.message();
+  auto Back = assembleText(disassembleModule(*FromBinary));
+  ASSERT_TRUE(Back.hasValue()) << Back.message();
+  EXPECT_TRUE(modulesEqual(M, *Back));
+}

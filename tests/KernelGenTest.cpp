@@ -1,0 +1,284 @@
+//===- tests/KernelGenTest.cpp - SGEMM generator/allocator tests ----------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BinaryAnalysis.h"
+#include "arch/RegisterBank.h"
+#include "asmtool/Assembler.h"
+#include "asmtool/Disassembler.h"
+#include "isa/Encoding.h"
+#include "kernelgen/Baselines.h"
+#include "kernelgen/SgemmGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace gpuperf;
+
+namespace {
+
+SgemmKernelConfig squareConfig(int Size, GemmVariant V = GemmVariant::NN) {
+  SgemmKernelConfig Cfg;
+  Cfg.Variant = V;
+  Cfg.M = Cfg.N = Cfg.K = Size;
+  Cfg.Lda = Cfg.Ldb = Cfg.Ldc = Size;
+  return Cfg;
+}
+
+} // namespace
+
+// --- Register allocation (Section 5.4 / Figure 9) ---------------------------
+
+TEST(RegAllocator, BankAwareIsConflictFree) {
+  for (int BR : {2, 4, 6}) {
+    SgemmKernelConfig Cfg = squareConfig(960);
+    Cfg.BR = BR;
+    auto Map = allocateSgemmRegisters(Cfg);
+    ASSERT_TRUE(Map.hasValue()) << Map.message();
+    EXPECT_EQ(countTileConflicts(*Map, 2), 0) << "BR=" << BR;
+  }
+}
+
+TEST(RegAllocator, BankAwareBR6UsesExactly63Registers) {
+  // The Section 5.2 budget: the full blocking configuration consumes the
+  // whole 63-register file with zero spills.
+  SgemmKernelConfig Cfg = squareConfig(960);
+  auto Map = allocateSgemmRegisters(Cfg);
+  ASSERT_TRUE(Map.hasValue());
+  EXPECT_EQ(Map->regsUsed(), 63);
+}
+
+TEST(RegAllocator, Figure9NinePerBank) {
+  // Figure 9: "36 registers of C sub-matrix have 9 registers on each
+  // bank".
+  SgemmKernelConfig Cfg = squareConfig(960);
+  auto Map = allocateSgemmRegisters(Cfg);
+  ASSERT_TRUE(Map.hasValue());
+  int PerBank[4] = {0, 0, 0, 0};
+  for (uint8_t Reg : Map->Acc)
+    ++PerBank[registerBankIndex(Reg)];
+  for (int Bank = 0; Bank < 4; ++Bank)
+    EXPECT_EQ(PerBank[Bank], 9) << "bank " << Bank;
+}
+
+TEST(RegAllocator, Figure9OperandBankDomains) {
+  // "We select registers from E0 and O0 for column A. Row B uses
+  // registers from E1 and O1."
+  SgemmKernelConfig Cfg = squareConfig(960);
+  auto Map = allocateSgemmRegisters(Cfg);
+  ASSERT_TRUE(Map.hasValue());
+  for (uint8_t Reg : Map->A) {
+    RegBank Bank = registerBank(Reg);
+    EXPECT_TRUE(Bank == RegBank::Even0 || Bank == RegBank::Odd0)
+        << "A reg R" << static_cast<int>(Reg);
+  }
+  for (uint8_t Reg : {Map->B[0], Map->B[1]}) {
+    RegBank Bank = registerBank(Reg);
+    EXPECT_TRUE(Bank == RegBank::Even1 || Bank == RegBank::Odd1)
+        << "B reg R" << static_cast<int>(Reg);
+  }
+}
+
+TEST(RegAllocator, AllRegistersDistinct) {
+  for (auto Kind : {RegAllocKind::BankAware, RegAllocKind::Compiler,
+                    RegAllocKind::Naive}) {
+    SgemmKernelConfig Cfg = squareConfig(960);
+    Cfg.RegAlloc = Kind;
+    auto Map = allocateSgemmRegisters(Cfg);
+    ASSERT_TRUE(Map.hasValue());
+    std::set<uint8_t> Seen;
+    auto Check = [&Seen](uint8_t Reg) {
+      EXPECT_TRUE(Seen.insert(Reg).second)
+          << "register R" << static_cast<int>(Reg) << " assigned twice";
+    };
+    for (uint8_t Reg : Map->Acc)
+      Check(Reg);
+    for (uint8_t Reg : Map->A)
+      Check(Reg);
+    Check(Map->B[0]);
+    Check(Map->B[1]);
+    for (uint8_t Reg : Map->Prefetch)
+      Check(Reg);
+    for (uint8_t Reg : {Map->RLoop, Map->RGA, Map->RGB, Map->RSA,
+                        Map->RSB, Map->RRA, Map->RRB})
+      Check(Reg);
+  }
+}
+
+TEST(RegAllocator, WidePairsAreAligned) {
+  // LDS.64 targets must be even-aligned register pairs.
+  for (auto Kind : {RegAllocKind::BankAware, RegAllocKind::Compiler,
+                    RegAllocKind::Naive}) {
+    SgemmKernelConfig Cfg = squareConfig(960);
+    Cfg.RegAlloc = Kind;
+    auto Map = allocateSgemmRegisters(Cfg);
+    ASSERT_TRUE(Map.hasValue());
+    for (size_t P = 0; P < Map->A.size(); P += 2) {
+      EXPECT_EQ(Map->A[P] % 2, 0);
+      EXPECT_EQ(Map->A[P + 1], Map->A[P] + 1);
+    }
+    EXPECT_EQ(Map->B[0] % 2, 0);
+    EXPECT_EQ(Map->B[1], Map->B[0] + 1);
+  }
+}
+
+TEST(RegAllocator, ConflictRatesOrderAsFigure8) {
+  // Figure 8's qualitative ordering: bank-aware ~0 conflicts, the
+  // compiler-style layout a moderate share, the naive first-version
+  // layout a heavy share plus 3-way conflicts.
+  SgemmKernelConfig Cfg = squareConfig(960);
+  auto Aware = allocateSgemmRegisters(Cfg);
+  Cfg.RegAlloc = RegAllocKind::Compiler;
+  auto Compiler = allocateSgemmRegisters(Cfg);
+  Cfg.RegAlloc = RegAllocKind::Naive;
+  auto Naive = allocateSgemmRegisters(Cfg);
+  ASSERT_TRUE(Aware.hasValue() && Compiler.hasValue() &&
+              Naive.hasValue());
+  int AwareConf = countTileConflicts(*Aware, 2);
+  int CompilerConf = countTileConflicts(*Compiler, 2);
+  int NaiveConf = countTileConflicts(*Naive, 2);
+  EXPECT_EQ(AwareConf, 0);
+  EXPECT_GT(CompilerConf, 0);
+  EXPECT_GT(NaiveConf, CompilerConf);
+  EXPECT_GT(countTileConflicts(*Naive, 3), 0);
+  EXPECT_EQ(countTileConflicts(*Compiler, 3), 0);
+}
+
+// --- Kernel generation -----------------------------------------------------
+
+TEST(SgemmGenerator, GeneratesWithin63Registers) {
+  for (GemmVariant V : {GemmVariant::NN, GemmVariant::NT, GemmVariant::TN,
+                        GemmVariant::TT}) {
+    auto K = generateSgemmKernel(gtx580(), squareConfig(960, V));
+    ASSERT_TRUE(K.hasValue()) << K.message();
+    EXPECT_LE(K->RegsPerThread, 63);
+    EXPECT_EQ(K->RegsPerThread, 63); // BR=6 uses the whole file.
+  }
+}
+
+TEST(SgemmGenerator, StaticInstructionMixMatchesModel) {
+  // Main loop: per k-step 36 FFMA and 6 LDS.64 (85.7% FFMA in the loop,
+  // Figure 3). The static census includes prologue/epilogue.
+  auto K = generateSgemmKernel(gtx580(), squareConfig(960));
+  ASSERT_TRUE(K.hasValue());
+  InstructionMix Mix = analyzeInstructionMix(*K);
+  // Two emitted iterations (loop body + tail): 2*16*36 FFMAs + epilogue.
+  EXPECT_EQ(Mix.count(Opcode::FFMA), 2 * 16 * 36 + 36);
+  EXPECT_EQ(Mix.count(Opcode::LDS), 2 * 16 * 6);
+  EXPECT_GT(Mix.ffmaPercent(), 70.0);
+}
+
+TEST(SgemmGenerator, SharedMemoryWithinBudget) {
+  auto K = generateSgemmKernel(gtx580(), squareConfig(960));
+  ASSERT_TRUE(K.hasValue());
+  // Two padded panels of 16 slices: 2 * 16 * (96+2)*4 = 12544 bytes.
+  EXPECT_EQ(K->SharedBytes, 12544);
+  EXPECT_LE(K->SharedBytes, 48 * 1024);
+}
+
+TEST(SgemmGenerator, KeplerKernelsCarryNotations) {
+  SgemmKernelConfig Cfg = squareConfig(960);
+  Cfg.Notation = NotationQuality::Heuristic;
+  auto K = generateSgemmKernel(gtx680(), Cfg);
+  ASSERT_TRUE(K.hasValue());
+  EXPECT_TRUE(K->hasNotations());
+  EXPECT_EQ(K->Notations.size(), K->requiredNotationCount());
+}
+
+TEST(SgemmGenerator, FermiKernelsCarryNoNotations) {
+  auto K = generateSgemmKernel(gtx580(), squareConfig(960));
+  ASSERT_TRUE(K.hasValue());
+  EXPECT_FALSE(K->hasNotations());
+}
+
+TEST(SgemmGenerator, RoundTripsThroughAssemblyText) {
+  // The generated kernel disassembles and re-assembles identically --
+  // the generator only emits encodable instructions.
+  auto K = generateSgemmKernel(gtx580(), squareConfig(192));
+  ASSERT_TRUE(K.hasValue());
+  Module M;
+  M.Arch = GpuGeneration::Fermi;
+  M.Kernels.push_back(*K);
+  auto Back = assembleText(disassembleModule(M));
+  ASSERT_TRUE(Back.hasValue()) << Back.message();
+  ASSERT_EQ(Back->Kernels.size(), 1u);
+  const Kernel &BK = Back->Kernels[0];
+  ASSERT_EQ(BK.Code.size(), K->Code.size());
+  for (size_t I = 0; I < BK.Code.size(); ++I)
+    EXPECT_EQ(encodeInstruction(BK.Code[I]), encodeInstruction(K->Code[I]))
+        << "instruction " << I;
+}
+
+TEST(SgemmGenerator, SerializesToModuleBinary) {
+  auto K = generateSgemmKernel(gtx680(), squareConfig(192));
+  ASSERT_TRUE(K.hasValue());
+  Module M;
+  M.Arch = GpuGeneration::Kepler;
+  M.Kernels.push_back(*K);
+  auto Back = Module::deserialize(M.serialize());
+  ASSERT_TRUE(Back.hasValue()) << Back.message();
+  EXPECT_EQ(Back->Kernels[0].Code.size(), K->Code.size());
+  EXPECT_EQ(Back->Kernels[0].Notations.size(), K->Notations.size());
+}
+
+TEST(SgemmGeneratorErrors, RejectsBadShapes) {
+  SgemmKernelConfig Cfg = squareConfig(100);
+  auto K = generateSgemmKernel(gtx580(), Cfg);
+  ASSERT_FALSE(K.hasValue());
+  EXPECT_NE(K.message().find("multiples"), std::string::npos);
+
+  Cfg = squareConfig(960);
+  Cfg.K = 40; // Not a multiple of L = 16.
+  EXPECT_FALSE(generateSgemmKernel(gtx580(), Cfg).hasValue());
+
+  Cfg = squareConfig(960);
+  Cfg.BR = 5;
+  EXPECT_FALSE(generateSgemmKernel(gtx580(), Cfg).hasValue());
+
+  Cfg = squareConfig(960);
+  Cfg.LdsWidth = MemWidth::B128;
+  EXPECT_FALSE(generateSgemmKernel(gtx580(), Cfg).hasValue());
+
+  Cfg = squareConfig(960);
+  Cfg.BR = 2;
+  Cfg.EmulateSpills = true;
+  EXPECT_FALSE(generateSgemmKernel(gtx580(), Cfg).hasValue());
+
+  Cfg = squareConfig(960);
+  Cfg.Lda = 100; // Smaller than M.
+  EXPECT_FALSE(generateSgemmKernel(gtx580(), Cfg).hasValue());
+}
+
+TEST(SgemmGenerator, LaunchShapeCoversMatrix) {
+  SgemmKernelConfig Cfg = squareConfig(1920);
+  SgemmLaunchShape Shape = sgemmLaunchShape(Cfg);
+  EXPECT_EQ(Shape.GridX, 20);
+  EXPECT_EQ(Shape.GridY, 20);
+  EXPECT_EQ(Shape.BlockX, 256);
+}
+
+TEST(Baselines, NamedConfigsGenerate) {
+  for (auto Impl : {SgemmImpl::AsmTuned, SgemmImpl::AsmNaive,
+                    SgemmImpl::CublasLike, SgemmImpl::MagmaLike}) {
+    for (const MachineDesc *M : {&gtx580(), &gtx680()}) {
+      SgemmKernelConfig Cfg =
+          baselineConfig(Impl, *M, GemmVariant::NN, 960, 960, 960);
+      auto K = generateSgemmKernel(*M, Cfg);
+      EXPECT_TRUE(K.hasValue())
+          << sgemmImplName(Impl) << " on " << M->Name << ": "
+          << (K.hasValue() ? "" : K.message());
+    }
+  }
+}
+
+TEST(Baselines, SpillEmulationOnlyOnKeplerMagma) {
+  EXPECT_FALSE(baselineConfig(SgemmImpl::MagmaLike, gtx580(),
+                              GemmVariant::NN, 960, 960, 960)
+                   .EmulateSpills);
+  EXPECT_TRUE(baselineConfig(SgemmImpl::MagmaLike, gtx680(),
+                             GemmVariant::NN, 960, 960, 960)
+                  .EmulateSpills);
+}

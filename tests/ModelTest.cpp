@@ -1,0 +1,157 @@
+//===- tests/ModelTest.cpp - analytical upper-bound model tests -----------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/UpperBound.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuperf;
+
+TEST(Model, InstructionFactor) {
+  // Section 4.5: FI is 1 / 0.5 / 0.25 for LDS / LDS.64 / LDS.128.
+  EXPECT_DOUBLE_EQ(UpperBoundModel::instructionFactor(MemWidth::B32), 1.0);
+  EXPECT_DOUBLE_EQ(UpperBoundModel::instructionFactor(MemWidth::B64), 0.5);
+  EXPECT_DOUBLE_EQ(UpperBoundModel::instructionFactor(MemWidth::B128),
+                   0.25);
+}
+
+TEST(Model, FfmaFractionFigure3) {
+  // Figure 3's annotated points at BR = 6: 75%, 85.7%, 92.3%.
+  EXPECT_NEAR(UpperBoundModel::ffmaFraction(6, MemWidth::B32), 0.75, 1e-9);
+  EXPECT_NEAR(UpperBoundModel::ffmaFraction(6, MemWidth::B64), 0.857,
+              0.001);
+  EXPECT_NEAR(UpperBoundModel::ffmaFraction(6, MemWidth::B128), 0.923,
+              0.001);
+}
+
+TEST(Model, FfmaFractionMonotonicInBR) {
+  for (int BR = 1; BR < 14; ++BR)
+    EXPECT_LT(UpperBoundModel::ffmaFraction(BR, MemWidth::B64),
+              UpperBoundModel::ffmaFraction(BR + 1, MemWidth::B64));
+}
+
+TEST(Model, WorstCaseNoBlocking) {
+  // Section 4.2: without register reuse, only 1/3 of instructions are
+  // floating point (2 LDS per FFMA).
+  EXPECT_NEAR(UpperBoundModel::ffmaFraction(1, MemWidth::B32), 1.0 / 3.0,
+              1e-9);
+}
+
+TEST(Model, LooseBlockingLimitEquation2) {
+  // "With maximum 63 registers per thread, BR <= 7."
+  EXPECT_EQ(UpperBoundModel::maxBlockingFactorLoose(63), 7);
+  EXPECT_EQ(UpperBoundModel::maxBlockingFactorLoose(127), 10);
+}
+
+TEST(Model, StrideValidityEquation3) {
+  // The paper chooses L = 16 for TB = 256, BR = 6; L in {8, 16, 24} all
+  // satisfy (sqrt(TB)*BR*L) % TB == 0.
+  EXPECT_TRUE(UpperBoundModel::strideValid(256, 6, 16));
+  EXPECT_TRUE(UpperBoundModel::strideValid(256, 6, 8));
+  EXPECT_TRUE(UpperBoundModel::strideValid(256, 6, 24));
+  EXPECT_FALSE(UpperBoundModel::strideValid(256, 6, 10));
+  // Non-square thread blocks cannot satisfy the equation's premise.
+  EXPECT_FALSE(UpperBoundModel::strideValid(192, 6, 16));
+}
+
+TEST(Model, RegisterBudgetSection52) {
+  // The Fermi implementation's budget: 36 + 12 + 6 + 2 + 7 = 63.
+  SgemmModelParams P;
+  RegisterBudget B = UpperBoundModel::registerBudget(P);
+  EXPECT_EQ(B.CTile, 36);
+  EXPECT_EQ(B.Prefetch, 12);
+  EXPECT_EQ(B.ALoad, 6);
+  EXPECT_EQ(B.BLoad, 2);
+  EXPECT_EQ(B.Addressing, 7);
+  EXPECT_EQ(B.total(), 63);
+}
+
+TEST(Model, StrictBlockingLimitIs6) {
+  // Equation 4 with prefetching: BR = 7 does not fit 63 registers, so
+  // the maximum practical blocking factor is 6 (Section 4.5).
+  PerfDatabase DB(gtx580());
+  UpperBoundModel Model(DB);
+  SgemmModelParams Base;
+  EXPECT_EQ(Model.maxBlockingFactorStrict(Base), 6);
+}
+
+TEST(Model, FermiUpperBoundSection45) {
+  // Paper: ~82.5% of the theoretical peak with LDS.64 on GTX580.
+  PerfDatabase DB(gtx580());
+  UpperBoundModel Model(DB);
+  SgemmModelParams P; // Defaults are the paper's choice.
+  UpperBoundReport R = Model.analyze(P);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.BSh, 96);
+  EXPECT_EQ(R.Occ.ActiveThreads, 512); // Section 4.5.
+  // SM-bound, not memory-bound (Equation 9).
+  EXPECT_LT(R.PSMBoundGflops, R.PMemBoundGflops);
+  EXPECT_NEAR(R.FractionOfPeak, 0.825, 0.045);
+}
+
+TEST(Model, KeplerUpperBoundSection45) {
+  // Paper: ~54.6% of the peak with LDS.64 on GTX680.
+  PerfDatabase DB(gtx680());
+  UpperBoundModel Model(DB);
+  SgemmModelParams P;
+  UpperBoundReport R = Model.analyze(P);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Occ.ActiveThreads, 1024); // 64K registers / 63.
+  EXPECT_LT(R.PSMBoundGflops, R.PMemBoundGflops);
+  EXPECT_NEAR(R.FractionOfPeak, 0.546, 0.06);
+}
+
+TEST(Model, MemoryBoundRoofline) {
+  // Equation 6: the memory bound is bandwidth * BSh / 4; for BSh = 96 on
+  // GTX580 that is ~4.6 TFLOPS, far above the SM bound.
+  PerfDatabase DB(gtx580());
+  UpperBoundModel Model(DB);
+  UpperBoundReport R = Model.analyze(SgemmModelParams());
+  EXPECT_NEAR(R.PMemBoundGflops, 192.4 * 96 / 4, 1.0);
+}
+
+TEST(Model, TinyBlockingBecomesMemoryBound) {
+  // With BR = 1 (BSh = 16) the roofline flips: flops/byte = 4, so the
+  // bound is 192.4 * 4 = 770 GFLOPS < any SM bound... on Fermi the SM
+  // bound at BR=1 is 1/3 * peak ~ 527, still SM-bound; on Kepler the
+  // memory bound bites earlier relative to its higher peak.
+  PerfDatabase DB(gtx580());
+  UpperBoundModel Model(DB);
+  SgemmModelParams P;
+  P.BR = 1;
+  P.L = 16;
+  UpperBoundReport R = Model.analyze(P);
+  EXPECT_NEAR(R.PMemBoundGflops, 192.4 * 16 / 4, 1.0);
+}
+
+TEST(Model, InfeasibleBudgetReported) {
+  PerfDatabase DB(gtx580());
+  UpperBoundModel Model(DB);
+  SgemmModelParams P;
+  P.BR = 8; // 64 + 16 + 8 + 2 + 7 = 97 > 63.
+  UpperBoundReport R = Model.analyze(P);
+  EXPECT_FALSE(R.Feasible);
+}
+
+TEST(Model, BestForWidthPicksBR6) {
+  PerfDatabase DB(gtx580());
+  UpperBoundModel Model(DB);
+  UpperBoundReport R = Model.bestForWidth(MemWidth::B64);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Params.BR, 6);
+}
+
+TEST(Model, WiderLoadsRaiseTheBoundOnKepler) {
+  // Section 4.5: on Kepler the LDS.128 bound (57.6%) exceeds the LDS.64
+  // bound (54.6%) because the FFMA percentage rises.
+  PerfDatabase DB(gtx680());
+  UpperBoundModel Model(DB);
+  SgemmModelParams P64, P128;
+  P128.LdsWidth = MemWidth::B128;
+  UpperBoundReport R64 = Model.analyze(P64);
+  UpperBoundReport R128 = Model.analyze(P128);
+  EXPECT_GT(R128.FfmaFraction, R64.FfmaFraction);
+}

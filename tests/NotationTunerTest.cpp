@@ -1,0 +1,144 @@
+//===- tests/NotationTunerTest.cpp - control-notation tuner tests ---------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmtool/NotationTuner.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuperf;
+
+namespace {
+
+Kernel chainKernel() {
+  // R4 = R1 * R2 + R4; consumer immediately follows producer.
+  Kernel K;
+  K.Name = "chain";
+  K.Code = {
+      makeFFMA(4, 1, 2, 4),
+      makeFFMA(6, 4, 2, 6), // Reads R4 right away.
+      makeEXIT(),
+  };
+  K.recomputeRegUsage();
+  return K;
+}
+
+ControlField fieldOf(const Kernel &K, size_t Idx) {
+  return K.Notations[Idx / NotationGroupSize]
+      .Fields[Idx % NotationGroupSize];
+}
+
+} // namespace
+
+TEST(NotationTuner, QualityNames) {
+  EXPECT_STREQ(notationQualityName(NotationQuality::None), "none");
+  EXPECT_STREQ(notationQualityName(NotationQuality::Heuristic),
+               "heuristic");
+  EXPECT_STREQ(notationQualityName(NotationQuality::Tuned), "tuned");
+  EXPECT_EQ(parseNotationQuality("tuned"), NotationQuality::Tuned);
+  EXPECT_EQ(parseNotationQuality("none"), NotationQuality::None);
+  EXPECT_EQ(parseNotationQuality("whatever"),
+            NotationQuality::Heuristic);
+}
+
+TEST(NotationTuner, NoOpOnFermi) {
+  Kernel K = chainKernel();
+  tuneNotations(gtx580(), K, NotationQuality::Tuned);
+  EXPECT_FALSE(K.hasNotations());
+}
+
+TEST(NotationTuner, NoneClearsNotations) {
+  Kernel K = chainKernel();
+  K.addDefaultNotations();
+  tuneNotations(gtx680(), K, NotationQuality::None);
+  EXPECT_FALSE(K.hasNotations());
+}
+
+TEST(NotationTuner, TunedStallsCoverMathLatency) {
+  Kernel K = chainKernel();
+  tuneNotations(gtx680(), K, NotationQuality::Tuned);
+  ASSERT_TRUE(K.hasNotations());
+  // The producer's field must stall long enough that the dependent FFMA
+  // issues MathLatency cycles later (clamped to the 4-bit field).
+  ControlField F = fieldOf(K, 0);
+  EXPECT_GE(F.StallCycles,
+            std::min(gtx680().MathLatency - 1, 15));
+  EXPECT_FALSE(F.DualIssue); // A stalled pair cannot dual-issue.
+}
+
+TEST(NotationTuner, TunedMarksIndependentPairsDualIssue) {
+  Kernel K;
+  K.Code = {
+      makeFFMA(4, 1, 2, 4),
+      makeFFMA(6, 1, 2, 6), // Independent of the first.
+      makeEXIT(),
+  };
+  K.recomputeRegUsage();
+  tuneNotations(gtx680(), K, NotationQuality::Tuned);
+  EXPECT_TRUE(fieldOf(K, 0).DualIssue);
+  EXPECT_EQ(fieldOf(K, 0).StallCycles, 0);
+}
+
+TEST(NotationTuner, TunedYieldsBeforeMemoryConsumers) {
+  Kernel K;
+  K.SharedBytes = 64;
+  K.Code = {
+      makeLDS(MemWidth::B64, 4, 0, 0),
+      makeMOV(10, 11),
+      makeFFMA(6, 4, 2, 6), // Consumes the loaded R4.
+      makeEXIT(),
+  };
+  K.recomputeRegUsage();
+  tuneNotations(gtx680(), K, NotationQuality::Tuned);
+  // The instruction just before the consumer carries the yield flag so
+  // the scoreboard wait is penalty-free.
+  EXPECT_TRUE(fieldOf(K, 1).Yield);
+}
+
+TEST(NotationTuner, TunedDistanceReducesStall) {
+  // With independent instructions between producer and consumer, the
+  // needed stall shrinks.
+  Kernel K;
+  K.Code = {makeFFMA(4, 1, 2, 4)};
+  for (int Pad = 0; Pad < 6; ++Pad)
+    K.Code.push_back(
+        makeFFMA(static_cast<uint8_t>(10 + 2 * Pad), 1, 2,
+                 static_cast<uint8_t>(10 + 2 * Pad)));
+  K.Code.push_back(makeFFMA(6, 4, 2, 6)); // Consumer, 6 insts later.
+  K.Code.push_back(makeEXIT());
+  K.recomputeRegUsage();
+  tuneNotations(gtx680(), K, NotationQuality::Tuned);
+  // Producer itself needs no long stall; the residual deficit lands on
+  // the instruction right before the consumer.
+  EXPECT_EQ(fieldOf(K, 0).StallCycles, 0);
+  EXPECT_LE(fieldOf(K, 6).StallCycles, gtx680().MathLatency - 6);
+}
+
+TEST(NotationTuner, HeuristicIsPerOpcodeClass) {
+  Kernel K;
+  K.SharedBytes = 64;
+  K.Code = {
+      makeFFMA(4, 1, 2, 4),
+      makeLDS(MemWidth::B64, 6, 0, 0),
+      makeBRA(0),
+      makeEXIT(),
+  };
+  K.recomputeRegUsage();
+  tuneNotations(gtx680(), K, NotationQuality::Heuristic);
+  EXPECT_TRUE(fieldOf(K, 0).DualIssue);  // Math: dual, no stall.
+  EXPECT_EQ(fieldOf(K, 0).StallCycles, 0);
+  EXPECT_FALSE(fieldOf(K, 1).DualIssue); // Memory: plain.
+  EXPECT_EQ(fieldOf(K, 2).StallCycles, 1); // Control: short stall.
+}
+
+TEST(NotationTuner, CoversWholeKernel) {
+  Kernel K;
+  for (int I = 0; I < 23; ++I) // More than three notation groups.
+    K.Code.push_back(makeFADD(1, 0, 0));
+  K.Code.push_back(makeEXIT());
+  K.recomputeRegUsage();
+  tuneNotations(gtx680(), K, NotationQuality::Tuned);
+  EXPECT_EQ(K.Notations.size(), K.requiredNotationCount());
+}

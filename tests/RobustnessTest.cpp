@@ -1,0 +1,175 @@
+//===- tests/RobustnessTest.cpp - fuzz and determinism tests --------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hostile-input and determinism properties: the decoder and module
+/// parser must reject garbage gracefully (no crashes, no silent
+/// acceptance of invalid state), the assembler must diagnose mutated
+/// sources, and the simulator must be bit-and-cycle deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asmtool/Assembler.h"
+#include "isa/Encoding.h"
+#include "isa/Module.h"
+#include "sgemm/SgemmRunner.h"
+#include "ubench/PerfDatabase.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuperf;
+
+TEST(Fuzz, DecoderHandlesRandomWords) {
+  Rng R(2026);
+  int Accepted = 0;
+  for (int Trial = 0; Trial < 50000; ++Trial) {
+    uint64_t Word = R.next();
+    auto I = decodeInstruction(Word);
+    if (!I.hasValue())
+      continue;
+    ++Accepted;
+    // Anything accepted must re-encode into a decodable word whose
+    // decode agrees (idempotence of the canonical form).
+    uint64_t Reencoded = encodeInstruction(*I);
+    auto Again = decodeInstruction(Reencoded);
+    ASSERT_TRUE(Again.hasValue());
+    EXPECT_EQ(encodeInstruction(*Again), Reencoded);
+  }
+  // Plenty of random words are valid (the opcode space is dense), but
+  // not all (invalid opcodes/width/compare fields are rejected).
+  EXPECT_GT(Accepted, 1000);
+  EXPECT_LT(Accepted, 50000);
+}
+
+TEST(Fuzz, ModuleParserHandlesRandomBytes) {
+  Rng R(7);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    std::vector<uint8_t> Bytes(R.nextBelow(200));
+    for (uint8_t &B : Bytes)
+      B = static_cast<uint8_t>(R.next());
+    auto M = Module::deserialize(Bytes); // Must not crash.
+    (void)M;
+  }
+}
+
+TEST(Fuzz, ModuleParserHandlesTruncationsOfValidModule) {
+  Module M;
+  M.Arch = GpuGeneration::Kepler;
+  Kernel K;
+  K.Name = "k";
+  for (int I = 0; I < 20; ++I)
+    K.Code.push_back(makeFADD(1, 0, 0));
+  K.Code.push_back(makeEXIT());
+  K.recomputeRegUsage();
+  K.addDefaultNotations();
+  M.Kernels.push_back(K);
+  std::vector<uint8_t> Bytes = M.serialize();
+  for (size_t Cut = 0; Cut < Bytes.size(); Cut += 3) {
+    std::vector<uint8_t> Truncated(Bytes.begin(), Bytes.begin() + Cut);
+    EXPECT_FALSE(Module::deserialize(Truncated).hasValue());
+  }
+}
+
+TEST(Fuzz, ModuleParserHandlesBitFlips) {
+  Module M;
+  M.Arch = GpuGeneration::Fermi;
+  Kernel K;
+  K.Name = "k";
+  K.Code = {makeMOV32I(0, 1), makeEXIT()};
+  K.recomputeRegUsage();
+  M.Kernels.push_back(K);
+  std::vector<uint8_t> Bytes = M.serialize();
+  for (size_t Byte = 0; Byte < Bytes.size(); ++Byte)
+    for (int Bit = 0; Bit < 8; Bit += 3) {
+      std::vector<uint8_t> Mutated = Bytes;
+      Mutated[Byte] ^= static_cast<uint8_t>(1 << Bit);
+      auto Back = Module::deserialize(Mutated); // No crash; any result.
+      (void)Back;
+    }
+}
+
+TEST(Fuzz, AssemblerHandlesMutatedSource) {
+  std::string Source = ".arch GTX580\n"
+                       ".kernel k\n"
+                       "  S2R R0, SR_TID.X\n"
+                       "  FFMA R4, R2, R3, R4\n"
+                       "  ISETP.NE P0, R0, RZ\n"
+                       "  @P0 BRA done\n"
+                       "done:\n"
+                       "  EXIT\n"
+                       ".end\n";
+  Rng R(99);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    std::string Mutated = Source;
+    // Swap, delete or garble a few characters.
+    for (int Edit = 0; Edit < 3; ++Edit) {
+      size_t Pos = R.nextBelow(Mutated.size());
+      switch (R.nextBelow(3)) {
+      case 0:
+        Mutated[Pos] = static_cast<char>(33 + R.nextBelow(90));
+        break;
+      case 1:
+        Mutated.erase(Pos, 1);
+        break;
+      default:
+        Mutated.insert(Pos, 1, static_cast<char>(33 + R.nextBelow(90)));
+        break;
+      }
+    }
+    auto M = assembleText(Mutated); // Must not crash.
+    if (!M.hasValue()) {
+      EXPECT_FALSE(M.message().empty());
+    }
+  }
+}
+
+TEST(Determinism, RepeatedLaunchesAgreeExactly) {
+  SgemmProblem P;
+  P.M = P.N = 192;
+  P.K = 64;
+  SgemmRunOptions O;
+  O.Mode = SimMode::Full;
+  auto A = runSgemm(gtx680(), SgemmImpl::AsmTuned, P, O);
+  auto B = runSgemm(gtx680(), SgemmImpl::AsmTuned, P, O);
+  ASSERT_TRUE(A.hasValue() && B.hasValue());
+  EXPECT_EQ(A->Launch.TotalCycles, B->Launch.TotalCycles);
+  EXPECT_EQ(A->Launch.Stats.ThreadInstsIssued,
+            B->Launch.Stats.ThreadInstsIssued);
+  EXPECT_EQ(A->Launch.Stats.ReplayPenalties,
+            B->Launch.Stats.ReplayPenalties);
+}
+
+TEST(Determinism, SeedChangesDataNotTiming) {
+  // SGEMM control flow is data-independent: different matrix contents
+  // must not change the cycle count.
+  SgemmProblem P;
+  P.M = P.N = 192;
+  P.K = 64;
+  SgemmRunOptions O;
+  O.Mode = SimMode::Full;
+  O.Seed = 1;
+  auto A = runSgemm(gtx580(), SgemmImpl::AsmTuned, P, O);
+  O.Seed = 999;
+  auto B = runSgemm(gtx580(), SgemmImpl::AsmTuned, P, O);
+  ASSERT_TRUE(A.hasValue() && B.hasValue());
+  EXPECT_EQ(A->Launch.TotalCycles, B->Launch.TotalCycles);
+}
+
+TEST(Robustness, K20XMachineIsConsistent) {
+  const MachineDesc &M = teslaK20X();
+  EXPECT_EQ(M.MaxRegsPerThread, 255);
+  EXPECT_NEAR(M.theoreticalPeakGflops(), 3935, 20);
+  EXPECT_EQ(findMachine("K20X"), &M);
+  EXPECT_EQ(findMachine("gk110"), &M);
+}
+
+TEST(Robustness, MixBenchRunsOnK20X) {
+  // The projection machine must be simulatable for the model's
+  // microbenchmarks (its ISA limit only affects occupancy math).
+  PerfDatabase DB(teslaK20X());
+  EXPECT_GT(DB.mixThroughput(6, MemWidth::B64, true, 1024, 6), 50.0);
+}

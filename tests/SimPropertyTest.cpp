@@ -1,0 +1,273 @@
+//===- tests/SimPropertyTest.cpp - randomized differential testing --------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the functional executor: random straight-line math
+/// programs are executed on the simulator and on an independent host
+/// interpreter; all 32 lanes must agree bit-for-bit. Plus a multi-round
+/// barrier stress test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Launcher.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+using namespace gpuperf;
+
+namespace {
+
+/// Registers available to the random program (R4..R19); R0-R3 hold the
+/// lane id and addressing.
+constexpr uint8_t FirstReg = 4;
+constexpr uint8_t NumRegs = 16;
+
+/// Host-side interpretation of one math instruction for one lane.
+void interpret(const Instruction &I, uint32_t *Regs) {
+  auto R = [&](uint8_t Reg) -> uint32_t {
+    return Reg == RegRZ ? 0 : Regs[Reg];
+  };
+  auto F = [&](uint8_t Reg) {
+    float V;
+    uint32_t U = R(Reg);
+    std::memcpy(&V, &U, 4);
+    return V;
+  };
+  auto WriteF = [&](float V) {
+    uint32_t U;
+    std::memcpy(&U, &V, 4);
+    Regs[I.Dst] = U;
+  };
+  uint32_t B = I.immReplacesSrc1() ? static_cast<uint32_t>(I.Imm)
+                                   : R(I.Src[1]);
+  switch (I.Op) {
+  case Opcode::FFMA:
+    WriteF(std::fma(F(I.Src[0]), F(I.Src[1]), F(I.Src[2])));
+    break;
+  case Opcode::FADD:
+    WriteF(F(I.Src[0]) + F(I.Src[1]));
+    break;
+  case Opcode::FMUL:
+    WriteF(F(I.Src[0]) * F(I.Src[1]));
+    break;
+  case Opcode::IADD:
+    Regs[I.Dst] = R(I.Src[0]) + B;
+    break;
+  case Opcode::IMUL:
+    Regs[I.Dst] = R(I.Src[0]) * B;
+    break;
+  case Opcode::IMAD:
+    Regs[I.Dst] = R(I.Src[0]) * B + R(I.Src[2]);
+    break;
+  case Opcode::ISCADD:
+    Regs[I.Dst] = (R(I.Src[0]) << I.iscaddShift()) + R(I.Src[1]);
+    break;
+  case Opcode::SHL:
+    Regs[I.Dst] = R(I.Src[0]) << (B & 31);
+    break;
+  case Opcode::SHR:
+    Regs[I.Dst] = R(I.Src[0]) >> (B & 31);
+    break;
+  case Opcode::LOP_AND:
+    Regs[I.Dst] = R(I.Src[0]) & B;
+    break;
+  case Opcode::LOP_OR:
+    Regs[I.Dst] = R(I.Src[0]) | B;
+    break;
+  case Opcode::LOP_XOR:
+    Regs[I.Dst] = R(I.Src[0]) ^ B;
+    break;
+  case Opcode::MOV:
+    Regs[I.Dst] = R(I.Src[0]);
+    break;
+  default:
+    FAIL() << "unexpected opcode in random program";
+  }
+}
+
+/// Generates one random math instruction over the sandbox registers.
+Instruction randomMathInst(Rng &R) {
+  auto Reg = [&R]() {
+    return static_cast<uint8_t>(FirstReg + R.nextBelow(NumRegs));
+  };
+  switch (R.nextBelow(13)) {
+  case 0:
+    return makeFFMA(Reg(), Reg(), Reg(), Reg());
+  case 1:
+    return makeFADD(Reg(), Reg(), Reg());
+  case 2:
+    return makeFMUL(Reg(), Reg(), Reg());
+  case 3:
+    return makeIADD(Reg(), Reg(), Reg());
+  case 4:
+    return makeIADDImm(Reg(), Reg(),
+                       static_cast<int32_t>(R.nextInRange(-4096, 4095)));
+  case 5:
+    return makeIMUL(Reg(), Reg(), Reg());
+  case 6:
+    return makeIMAD(Reg(), Reg(), Reg(), Reg());
+  case 7:
+    return makeISCADD(Reg(), Reg(), Reg(),
+                      static_cast<int>(R.nextBelow(8)));
+  case 8:
+    return makeSHLImm(Reg(), Reg(),
+                      static_cast<int32_t>(R.nextBelow(31)));
+  case 9: {
+    Instruction I = makeSHLImm(Reg(), Reg(),
+                               static_cast<int32_t>(R.nextBelow(31)));
+    I.Op = Opcode::SHR;
+    return I;
+  }
+  case 10:
+    return makeXORImm(Reg(), Reg(),
+                      static_cast<int32_t>(R.nextBelow(1 << 20)));
+  case 11: {
+    Instruction I = makeXORImm(Reg(), Reg(),
+                               static_cast<int32_t>(R.nextBelow(255)));
+    I.Op = R.nextBelow(2) ? Opcode::LOP_AND : Opcode::LOP_OR;
+    return I;
+  }
+  default:
+    return makeMOV(Reg(), Reg());
+  }
+}
+
+/// Bit equality, except that any-NaN == any-NaN: IEEE leaves NaN payload
+/// propagation unspecified and the compiler may commute float operands
+/// differently in the two translation units.
+bool sameValue(uint32_t A, uint32_t B) {
+  if (A == B)
+    return true;
+  auto IsNaN = [](uint32_t V) {
+    return (V & 0x7f800000u) == 0x7f800000u && (V & 0x007fffffu) != 0;
+  };
+  return IsNaN(A) && IsNaN(B);
+}
+
+} // namespace
+
+TEST(SimProperty, RandomProgramsMatchHostInterpreter) {
+  Rng R(20260704);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    // Random per-lane initial values (mix of small ints and float bits).
+    uint32_t Init[32][NumRegs];
+    for (int Lane = 0; Lane < 32; ++Lane)
+      for (int Reg = 0; Reg < NumRegs; ++Reg) {
+        if (R.nextBelow(2)) {
+          Init[Lane][Reg] = static_cast<uint32_t>(R.nextBelow(1 << 16));
+        } else {
+          float F = R.nextUnitFloat() * 4.0f;
+          std::memcpy(&Init[Lane][Reg], &F, 4);
+        }
+      }
+
+    GlobalMemory GM;
+    uint32_t In = GM.allocate(32 * NumRegs * 4);
+    uint32_t Out = GM.allocate(32 * NumRegs * 4);
+    // Lane-major layout: [lane][reg].
+    for (int Lane = 0; Lane < 32; ++Lane)
+      for (int Reg = 0; Reg < NumRegs; ++Reg)
+        GM.store32(In + 4 * (Lane * NumRegs + Reg), Init[Lane][Reg]);
+
+    Kernel K;
+    K.Name = "random";
+    // R0 = tid, R1 = in base + tid*NumRegs*4, R2 = out base likewise.
+    K.Code.push_back(makeS2R(0, SpecialReg::TID_X));
+    K.Code.push_back(makeIMADImm(1, 0, NumRegs * 4, RegRZ));
+    K.Code.push_back(makeIADDImm(2, 1, static_cast<int32_t>(Out)));
+    K.Code.push_back(makeIADDImm(1, 1, static_cast<int32_t>(In)));
+    for (int Reg = 0; Reg < NumRegs; ++Reg)
+      K.Code.push_back(makeLD(MemWidth::B32,
+                              static_cast<uint8_t>(FirstReg + Reg), 1,
+                              4 * Reg));
+
+    std::vector<Instruction> Body;
+    for (int I = 0; I < 100; ++I)
+      Body.push_back(randomMathInst(R));
+    for (const Instruction &I : Body)
+      K.Code.push_back(I);
+
+    for (int Reg = 0; Reg < NumRegs; ++Reg)
+      K.Code.push_back(makeST(MemWidth::B32, 2, 4 * Reg,
+                              static_cast<uint8_t>(FirstReg + Reg)));
+    K.Code.push_back(makeEXIT());
+    K.recomputeRegUsage();
+
+    LaunchConfig Config;
+    Config.Dims.BlockX = 32;
+    auto Result = launchKernel(gtx580(), K, Config, GM);
+    ASSERT_TRUE(Result.hasValue()) << Result.message();
+
+    // Host interpretation per lane.
+    for (int Lane = 0; Lane < 32; ++Lane) {
+      uint32_t Regs[64] = {};
+      for (int Reg = 0; Reg < NumRegs; ++Reg)
+        Regs[FirstReg + Reg] = Init[Lane][Reg];
+      for (const Instruction &I : Body)
+        interpret(I, Regs);
+      for (int Reg = 0; Reg < NumRegs; ++Reg)
+        ASSERT_TRUE(sameValue(GM.load32(Out + 4 * (Lane * NumRegs + Reg)),
+                              Regs[FirstReg + Reg]))
+            << "trial " << Trial << " lane " << Lane << " R"
+            << FirstReg + Reg;
+    }
+  }
+}
+
+TEST(SimProperty, MultiRoundBarrierRotation) {
+  // 8 warps rotate a token through shared memory over 16 barrier rounds;
+  // the final value proves every round's release/reacquire worked.
+  constexpr int Threads = 256;
+  constexpr int Rounds = 16;
+  GlobalMemory GM;
+  uint32_t Out = GM.allocate(Threads * 4);
+
+  Kernel K;
+  K.Name = "rotate";
+  // R0 = tid; R1 = tid*4 (my slot); R2 = ((tid+1)%256)*4 (next slot);
+  // R3 = value.
+  K.Code.push_back(makeS2R(0, SpecialReg::TID_X));
+  K.Code.push_back(makeSHLImm(1, 0, 2));
+  K.Code.push_back(makeIADDImm(2, 0, 1));
+  K.Code.push_back(makeXORImm(3, 2, 0)); // R3 = tid+1 (copy).
+  {
+    Instruction And;
+    And.Op = Opcode::LOP_AND;
+    And.Dst = 2;
+    And.Src[0] = 3;
+    And.HasImm = true;
+    And.Imm = Threads - 1;
+    K.Code.push_back(And);
+  }
+  K.Code.push_back(makeSHLImm(2, 2, 2));
+  K.Code.push_back(makeMOV(3, 0)); // Value starts as tid.
+  for (int Round = 0; Round < Rounds; ++Round) {
+    K.Code.push_back(makeSTS(MemWidth::B32, 1, 0, 3));
+    K.Code.push_back(makeBAR());
+    K.Code.push_back(makeLDS(MemWidth::B32, 3, 2, 0));
+    K.Code.push_back(makeBAR());
+  }
+  K.Code.push_back(makeIADDImm(2, 1, static_cast<int32_t>(Out)));
+  K.Code.push_back(makeST(MemWidth::B32, 2, 0, 3));
+  K.Code.push_back(makeEXIT());
+  K.recomputeRegUsage();
+  K.SharedBytes = Threads * 4;
+
+  LaunchConfig Config;
+  Config.Dims.BlockX = Threads;
+  auto Result = launchKernel(gtx580(), K, Config, GM);
+  ASSERT_TRUE(Result.hasValue()) << Result.message();
+  EXPECT_EQ(Result->Stats.BarrierWaits,
+            static_cast<uint64_t>(2 * Rounds * Threads / 32));
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_EQ(GM.load32(Out + 4 * T),
+              static_cast<uint32_t>((T + Rounds) % Threads))
+        << "thread " << T;
+}

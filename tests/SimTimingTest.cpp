@@ -1,0 +1,314 @@
+//===- tests/SimTimingTest.cpp - timing-model calibration tests -----------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies that the simulator reproduces the paper's measured throughput
+/// numbers: the Fermi 32-inst/cycle issue ceiling, the Section 4.1 LDS.X
+/// throughputs, the Kepler ~132 ceiling with the Table 2 register-bank
+/// effects, the ~178 repeated-operand fast path, and the qualitative
+/// effects (dependence sensitivity, control-notation quality, shared
+/// memory bank conflicts, global coalescing).
+///
+//===----------------------------------------------------------------------===//
+
+#include "asmtool/Assembler.h"
+#include "sim/Timing.h"
+#include "support/Format.h"
+#include "sim/Launcher.h"
+#include "ubench/MixBench.h"
+#include "ubench/OpPattern.h"
+#include "ubench/PerfDatabase.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuperf;
+
+namespace {
+
+double measureMix(const MachineDesc &M, int Ratio, MemWidth W,
+                  bool Dependent) {
+  MixBenchParams P;
+  P.FfmaPerLds = Ratio;
+  P.Width = W;
+  P.Dependent = Dependent;
+  Kernel K = generateMixBench(M, P);
+  return measureThroughput(M, K);
+}
+
+double measurePattern(const MachineDesc &M, const Instruction &Pattern) {
+  Kernel K = generateOpPatternBench(M, Pattern);
+  MeasureConfig Cfg;
+  Cfg.ThreadsPerBlock = 1024;
+  Cfg.BlocksPerSM = 1;
+  return measureThroughput(M, K, Cfg);
+}
+
+} // namespace
+
+// --- Fermi ceilings (Table 1, Section 4.1) -----------------------------------
+
+TEST(FermiTiming, PureFfmaReaches32PerCycle) {
+  double T = measureMix(gtx580(), -1, MemWidth::B64, false);
+  EXPECT_NEAR(T, 32.0, 1.5);
+}
+
+TEST(FermiTiming, PureLdsThroughputs) {
+  // Section 4.1: LDS peaks at 16 thread insts/cycle; LDS.64 at 8 (the
+  // data rate does not improve); LDS.128 at only 2.
+  EXPECT_NEAR(measureMix(gtx580(), 0, MemWidth::B32, false), 16.0, 1.0);
+  EXPECT_NEAR(measureMix(gtx580(), 0, MemWidth::B64, false), 8.0, 0.6);
+  EXPECT_NEAR(measureMix(gtx580(), 0, MemWidth::B128, false), 2.0, 0.3);
+}
+
+TEST(FermiTiming, MixedRatiosApproachIssueCeiling) {
+  // Figure 2 top: LDS saturates by ratio 3, LDS.64 by ratio 6; LDS.128
+  // at ratio 12 is still LDST-pipe bound near 2*(12+1) = 26.
+  double Lds3 = measureMix(gtx580(), 3, MemWidth::B32, false);
+  double Lds64R6 = measureMix(gtx580(), 6, MemWidth::B64, false);
+  double Lds128R12 = measureMix(gtx580(), 12, MemWidth::B128, false);
+  EXPECT_NEAR(Lds3, 31.3, 1.5);
+  EXPECT_NEAR(Lds64R6, 30.4, 2.0);
+  EXPECT_NEAR(Lds128R12, 24.5, 2.5);
+}
+
+TEST(FermiTiming, DependentMixSaturatesByMidOccupancy) {
+  // Figure 4 top: the dependent 6:1 mix is near-peak from 512 threads.
+  PerfDatabase DB(gtx580());
+  double At128 = DB.mixThroughput(6, MemWidth::B64, true, 128);
+  double At512 = DB.mixThroughput(6, MemWidth::B64, true, 512);
+  double At1024 = DB.mixThroughput(6, MemWidth::B64, true, 1024);
+  EXPECT_LT(At128, 0.8 * At512);
+  EXPECT_GT(At512, 28.0);
+  EXPECT_GE(At1024, At512 - 1.0);
+}
+
+// --- Kepler ceilings (Section 3.3, Table 2) -----------------------------------
+
+TEST(KeplerTiming, FfmaCeilingIs132NotSPCount) {
+  double T = measureMix(gtx680(), -1, MemWidth::B64, false);
+  EXPECT_NEAR(T, 132.0, 5.0);
+  // Far below the 192-SP processing throughput: the paper's core finding.
+  EXPECT_LT(T, 140.0);
+}
+
+TEST(KeplerTiming, PureLds64Throughput) {
+  EXPECT_NEAR(measureMix(gtx680(), 0, MemWidth::B64, false), 33.1, 1.5);
+}
+
+TEST(KeplerTiming, RepeatedOperandFastPath) {
+  // "FFMA RA, RB, RB, RA ... can approach around 178" (Section 3.3).
+  // R3 (odd0) and R4 (even1) are on different banks.
+  double T = measurePattern(gtx680(), makeFFMA(4, 3, 3, 4));
+  EXPECT_NEAR(T, 178.0, 8.0);
+}
+
+TEST(KeplerTiming, DependenceNeedsMoreThreadsThanFermi) {
+  // Figure 4 bottom: with fewer than 1024 active threads Kepler is very
+  // sensitive to the LDS->FFMA dependence.
+  PerfDatabase DB(gtx680());
+  double At512 = DB.mixThroughput(6, MemWidth::B64, true, 512);
+  double At2048 = DB.mixThroughput(6, MemWidth::B64, true, 2048);
+  EXPECT_LT(At512, 0.75 * At2048);
+  EXPECT_GT(At2048, 110.0);
+}
+
+TEST(KeplerTiming, NoNotationIsVeryPoor) {
+  // Section 3.2: without the control words the binary runs, but slowly.
+  MixBenchParams P;
+  P.FfmaPerLds = -1;
+  P.Notation = NotationQuality::None;
+  double None = measureThroughput(gtx680(), generateMixBench(gtx680(), P));
+  P.Notation = NotationQuality::Tuned;
+  double Tuned =
+      measureThroughput(gtx680(), generateMixBench(gtx680(), P));
+  EXPECT_LT(None, 0.4 * Tuned);
+}
+
+TEST(KeplerTiming, HeuristicNotationBetweenNoneAndTuned) {
+  MixBenchParams P;
+  P.FfmaPerLds = 6;
+  P.Dependent = true;
+  P.Notation = NotationQuality::None;
+  double None = measureThroughput(gtx680(), generateMixBench(gtx680(), P));
+  P.Notation = NotationQuality::Heuristic;
+  double Heur = measureThroughput(gtx680(), generateMixBench(gtx680(), P));
+  P.Notation = NotationQuality::Tuned;
+  double Tuned =
+      measureThroughput(gtx680(), generateMixBench(gtx680(), P));
+  EXPECT_LT(None, Heur);
+  EXPECT_LE(Heur, Tuned * 1.02);
+}
+
+// --- Table 2 (parameterized over all patterns) ----------------------------------
+
+class Table2Test : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2Test, MatchesPaperThroughput) {
+  const Table2Row &Row = GetParam();
+  double T = measurePattern(gtx680(), Row.Pattern);
+  // Within 6% of the paper's measured value.
+  EXPECT_NEAR(T, Row.PaperThroughput, 0.06 * Row.PaperThroughput)
+      << Row.Syntax;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, Table2Test, ::testing::ValuesIn(table2Patterns()),
+    [](const ::testing::TestParamInfo<Table2Row> &Info) {
+      std::string Name = Info.param.Syntax;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+// --- Shared-memory bank conflicts ---------------------------------------------
+
+namespace {
+
+uint64_t cyclesFor(const MachineDesc &M, const std::string &Body,
+                   int Threads, int SharedBytes) {
+  auto Mod = assembleKernelBody(M.Generation, Body, SharedBytes);
+  EXPECT_TRUE(Mod.hasValue()) << (Mod.hasValue() ? "" : Mod.message());
+  Kernel *K = Mod->findKernel("k");
+  if (M.Generation == GpuGeneration::Kepler)
+    tuneNotations(M, *K, NotationQuality::Tuned);
+  GlobalMemory GM(1 << 20);
+  LaunchConfig Config;
+  Config.Dims.BlockX = Threads;
+  Config.Dims.GridX = 1;
+  auto R = launchKernel(M, *K, Config, GM);
+  EXPECT_TRUE(R.hasValue()) << (R.hasValue() ? "" : R.message());
+  return R->Stats.Cycles;
+}
+
+std::string ldsStrideBody(int StrideBytes, int Repeats) {
+  // addr = (tid * Stride) % 4096; repeated loads, destinations rotated so
+  // write-after-write dependences do not serialize the pipe measurement.
+  std::string Body = formatString("  S2R R0, SR_TID.X\n"
+                                  "  IMUL R1, R0, %d\n"
+                                  "  LOP.AND R1, R1, 4095\n",
+                                  StrideBytes);
+  for (int I = 0; I < Repeats; ++I)
+    Body += formatString("  LDS R%d, [R1]\n", 4 + 2 * (I % 8));
+  Body += "  EXIT\n";
+  return Body;
+}
+
+} // namespace
+
+TEST(SharedBankConflicts, StridedAccessSerializesOnFermi) {
+  // Stride 4 bytes: conflict-free. Stride 128: all 32 lanes hit the same
+  // bank -> 32-way serialization.
+  uint64_t Sequential =
+      cyclesFor(gtx580(), ldsStrideBody(4, 64), 256, 4096);
+  uint64_t Conflicted =
+      cyclesFor(gtx580(), ldsStrideBody(128, 64), 256, 4096);
+  EXPECT_GT(Conflicted, 10 * Sequential);
+}
+
+TEST(SharedBankConflicts, CountedInStats) {
+  auto Mod = assembleKernelBody(GpuGeneration::Fermi,
+                                ldsStrideBody(128, 8), 4096);
+  ASSERT_TRUE(Mod.hasValue());
+  GlobalMemory GM(1 << 20);
+  LaunchConfig Config;
+  Config.Dims.BlockX = 32;
+  auto R = launchKernel(gtx580(), *Mod->findKernel("k"), Config, GM);
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_GE(R->Stats.SharedConflictEvents, 8u);
+}
+
+TEST(SharedBankConflicts, KeplerWideBanksForgiveLds64) {
+  // On Kepler's 8-byte banks a sequential LDS.64 pattern is conflict-free.
+  std::string Body = "  S2R R0, SR_TID.X\n"
+                     "  SHL R1, R0, 3\n";
+  for (int I = 0; I < 32; ++I)
+    Body += "  LDS.64 R4, [R1]\n";
+  Body += "  EXIT\n";
+  auto Mod = assembleKernelBody(GpuGeneration::Kepler, Body, 4096);
+  ASSERT_TRUE(Mod.hasValue());
+  Kernel *K = Mod->findKernel("k");
+  tuneNotations(gtx680(), *K, NotationQuality::Tuned);
+  GlobalMemory GM(1 << 20);
+  LaunchConfig Config;
+  Config.Dims.BlockX = 32;
+  auto R = launchKernel(gtx680(), *K, Config, GM);
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(R->Stats.SharedConflictEvents, 0u);
+}
+
+// --- Global-memory coalescing -----------------------------------------------------
+
+TEST(GlobalCoalescing, SequentialWarpLoadIsOneTransaction) {
+  GlobalMemory GM(1 << 20);
+  std::string Body = "  S2R R0, SR_TID.X\n"
+                     "  SHL R1, R0, 2\n"
+                     "  IADD R1, R1, 512\n"
+                     "  LD R4, [R1]\n"
+                     "  EXIT\n";
+  auto Mod = assembleKernelBody(GpuGeneration::Fermi, Body, 0);
+  ASSERT_TRUE(Mod.hasValue());
+  LaunchConfig Config;
+  Config.Dims.BlockX = 32;
+  auto R = launchKernel(gtx580(), *Mod->findKernel("k"), Config, GM);
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(R->Stats.GlobalTransactions, 1u);
+  EXPECT_EQ(R->Stats.GlobalBytes, 128u);
+}
+
+TEST(GlobalCoalescing, StridedWarpLoadIs32Transactions) {
+  GlobalMemory GM(1 << 20);
+  std::string Body = "  S2R R0, SR_TID.X\n"
+                     "  SHL R1, R0, 7\n" // 128-byte stride
+                     "  IADD R1, R1, 512\n"
+                     "  LD R4, [R1]\n"
+                     "  EXIT\n";
+  auto Mod = assembleKernelBody(GpuGeneration::Fermi, Body, 0);
+  ASSERT_TRUE(Mod.hasValue());
+  LaunchConfig Config;
+  Config.Dims.BlockX = 32;
+  auto R = launchKernel(gtx580(), *Mod->findKernel("k"), Config, GM);
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(R->Stats.GlobalTransactions, 32u);
+}
+
+TEST(GlobalCoalescing, BandwidthBoundsStreamingKernel) {
+  // A kernel that streams many loads cannot exceed the per-SM share of
+  // the chip bandwidth.
+  const MachineDesc &M = gtx580();
+  std::string Body = "  S2R R0, SR_TID.X\n"
+                     "  SHL R1, R0, 2\n";
+  for (int I = 0; I < 64; ++I)
+    Body += formatString("  LD R%d, [R1+%d]\n", 4 + (I % 8) * 2,
+                         I * 4096);
+  // Consume the loads so the kernel does not exit before the data (and
+  // therefore the bandwidth cost) has fully arrived.
+  for (int R = 0; R < 8; ++R)
+    Body += formatString("  FADD R40, R40, R%d\n", 4 + R * 2);
+  Body += "  EXIT\n";
+  auto Mod = assembleKernelBody(GpuGeneration::Fermi, Body, 0);
+  ASSERT_TRUE(Mod.hasValue()) << Mod.message();
+  GlobalMemory GM(1 << 22);
+  LaunchConfig Config;
+  Config.Dims.BlockX = 512;
+  auto R = launchKernel(M, *Mod->findKernel("k"), Config, GM);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  double Bytes = static_cast<double>(R->Stats.GlobalBytes);
+  double BytesPerCycle = Bytes / R->Stats.Cycles;
+  EXPECT_LE(BytesPerCycle, memBytesPerCyclePerSM(M) * 1.05);
+}
+
+// --- Latency-driven occupancy curves -----------------------------------------------
+
+TEST(OccupancyCurves, ThroughputGrowsWithActiveThreads) {
+  PerfDatabase DB(gtx680());
+  double Prev = 0;
+  for (int Threads : {64, 256, 1024, 2048}) {
+    double T = DB.mixThroughput(6, MemWidth::B64, true, Threads);
+    EXPECT_GE(T, Prev * 0.98) << Threads;
+    Prev = T;
+  }
+}

@@ -1,0 +1,136 @@
+//===- tests/SupportTest.cpp - support library unit tests -----------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/MathUtils.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace gpuperf;
+
+TEST(Format, Basic) {
+  EXPECT_EQ(formatString("x=%d y=%s", 42, "abc"), "x=42 y=abc");
+  EXPECT_EQ(formatString("%%"), "%");
+  const char *Empty = "";
+  EXPECT_EQ(formatString(Empty), "");
+}
+
+TEST(Format, LongStrings) {
+  std::string Long(1000, 'a');
+  EXPECT_EQ(formatString("%s!", Long.c_str()), Long + "!");
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(82.5, 1), "82.5");
+}
+
+TEST(Error, StatusSuccessAndFailure) {
+  Status Ok = Status::success();
+  EXPECT_FALSE(Ok.failed());
+  EXPECT_TRUE(static_cast<bool>(Ok));
+
+  Status Bad = Status::error("boom");
+  EXPECT_TRUE(Bad.failed());
+  EXPECT_EQ(Bad.message(), "boom");
+}
+
+TEST(Error, ExpectedValue) {
+  Expected<int> E(7);
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ(*E, 7);
+  EXPECT_EQ(E.take(), 7);
+}
+
+TEST(Error, ExpectedError) {
+  auto E = Expected<int>::error("no luck");
+  EXPECT_FALSE(E.hasValue());
+  EXPECT_EQ(E.message(), "no luck");
+  EXPECT_TRUE(E.takeStatus().failed());
+}
+
+TEST(Error, ExpectedMoveOnlyType) {
+  auto E = Expected<std::unique_ptr<int>>(std::make_unique<int>(5));
+  ASSERT_TRUE(E.hasValue());
+  auto P = E.take();
+  EXPECT_EQ(*P, 5);
+}
+
+TEST(MathUtils, DivideCeil) {
+  EXPECT_EQ(divideCeil(0, 4), 0u);
+  EXPECT_EQ(divideCeil(1, 4), 1u);
+  EXPECT_EQ(divideCeil(4, 4), 1u);
+  EXPECT_EQ(divideCeil(5, 4), 2u);
+}
+
+TEST(MathUtils, AlignTo) {
+  EXPECT_EQ(alignTo(0, 8), 0u);
+  EXPECT_EQ(alignTo(1, 8), 8u);
+  EXPECT_EQ(alignTo(8, 8), 8u);
+  EXPECT_EQ(alignTo(9, 8), 16u);
+}
+
+TEST(MathUtils, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(64));
+  EXPECT_FALSE(isPowerOf2(96));
+}
+
+TEST(MathUtils, IntSqrt) {
+  EXPECT_EQ(intSqrt(0), 0u);
+  EXPECT_EQ(intSqrt(1), 1u);
+  EXPECT_EQ(intSqrt(96 * 96), 96u);
+  EXPECT_EQ(intSqrt(97 * 97 - 1), 96u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, RangesRespected) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextInRange(-3, 9);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 9);
+    float F = R.nextUnitFloat();
+    EXPECT_GE(F, -1.0f);
+    EXPECT_LE(F, 1.0f);
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table T;
+  T.setHeader({"name", "value"});
+  T.addRow({"alpha", "1.5"});
+  T.addRow({"b", "23.25"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  // Numeric cells right-aligned: "23.25" wider than "1.5".
+  EXPECT_NE(Out.find("  1.5"), std::string::npos);
+}
+
+TEST(Table, EmptyTable) {
+  Table T;
+  EXPECT_EQ(T.render(), "");
+}

@@ -1,0 +1,175 @@
+//===- tests/UbenchTest.cpp - microbenchmark generator tests --------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/RegisterBank.h"
+#include "ubench/MixBench.h"
+#include "ubench/OpPattern.h"
+#include "ubench/PerfDatabase.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuperf;
+
+// --- Mix benchmark structure ------------------------------------------------
+
+TEST(MixBench, RatioIsRespected) {
+  for (int Ratio : {1, 3, 6, 12}) {
+    MixBenchParams P;
+    P.FfmaPerLds = Ratio;
+    Kernel K = generateMixBench(gtx580(), P);
+    int Ffma = 0, Lds = 0;
+    for (const Instruction &I : K.Code) {
+      Ffma += I.Op == Opcode::FFMA;
+      Lds += I.Op == Opcode::LDS;
+    }
+    ASSERT_GT(Lds, 0);
+    EXPECT_NEAR(static_cast<double>(Ffma) / Lds, Ratio, 0.1) << Ratio;
+  }
+}
+
+TEST(MixBench, PureModes) {
+  MixBenchParams P;
+  P.FfmaPerLds = -1;
+  Kernel OnlyFfma = generateMixBench(gtx580(), P);
+  P.FfmaPerLds = 0;
+  Kernel OnlyLds = generateMixBench(gtx580(), P);
+  auto Count = [](const Kernel &K, Opcode Op) {
+    int N = 0;
+    for (const Instruction &I : K.Code)
+      N += I.Op == Op;
+    return N;
+  };
+  EXPECT_EQ(Count(OnlyFfma, Opcode::LDS), 0);
+  EXPECT_GE(Count(OnlyFfma, Opcode::FFMA), 2000);
+  EXPECT_EQ(Count(OnlyLds, Opcode::FFMA), 0);
+  EXPECT_GE(Count(OnlyLds, Opcode::LDS), 2000);
+}
+
+TEST(MixBench, FfmaOperandsAreConflictFree) {
+  // The benchmark must measure the scheduler/pipes, not bank conflicts.
+  for (bool Dependent : {false, true}) {
+    MixBenchParams P;
+    P.Dependent = Dependent;
+    Kernel K = generateMixBench(gtx680(), P);
+    for (const Instruction &I : K.Code) {
+      if (I.Op != Opcode::FFMA)
+        continue;
+      RegList Distinct;
+      for (int S = 0; S < 3; ++S)
+        if (I.Src[S] != RegRZ && !Distinct.contains(I.Src[S]))
+          Distinct.push(I.Src[S]);
+      EXPECT_EQ(bankConflictDegree(Distinct), 1) << I.toString();
+    }
+  }
+}
+
+TEST(MixBench, StaysWithin32Registers) {
+  // Occupancy sweeps need 2048 threads on Kepler: 64K regs / 2048 = 32.
+  for (bool Dependent : {false, true})
+    for (MemWidth W : {MemWidth::B32, MemWidth::B64, MemWidth::B128}) {
+      MixBenchParams P;
+      P.Dependent = Dependent;
+      P.Width = W;
+      Kernel K = generateMixBench(gtx680(), P);
+      EXPECT_LE(K.RegsPerThread, 32);
+    }
+}
+
+TEST(MixBench, DependentConsumesLoadedRegisters) {
+  MixBenchParams P;
+  P.Dependent = true;
+  Kernel K = generateMixBench(gtx580(), P);
+  // Find a load and check the next FFMA reads its destination.
+  bool Checked = false;
+  for (size_t I = 0; I + 1 < K.Code.size(); ++I) {
+    if (K.Code[I].Op != Opcode::LDS)
+      continue;
+    const Instruction &Next = K.Code[I + 1];
+    if (Next.Op != Opcode::FFMA)
+      continue;
+    EXPECT_EQ(Next.Src[1], K.Code[I].Dst);
+    Checked = true;
+    break;
+  }
+  EXPECT_TRUE(Checked);
+}
+
+TEST(MixBench, KeplerKernelsGetNotations) {
+  MixBenchParams P;
+  Kernel K = generateMixBench(gtx680(), P);
+  EXPECT_TRUE(K.hasNotations());
+  P.Notation = NotationQuality::None;
+  Kernel K2 = generateMixBench(gtx680(), P);
+  EXPECT_FALSE(K2.hasNotations());
+  // Fermi never carries notations.
+  Kernel K3 = generateMixBench(gtx580(), P);
+  EXPECT_FALSE(K3.hasNotations());
+}
+
+// --- Operand-pattern benchmarks (Table 2 methodology) -------------------------
+
+TEST(OpPattern, RenamingPreservesBanks) {
+  // Renaming by multiples of 8 preserves the bank mapping, so all copies
+  // exhibit the pattern's conflict behaviour.
+  Kernel K = generateOpPatternBench(gtx680(), makeFFMA(0, 1, 3, 9), 64);
+  for (const Instruction &I : K.Code) {
+    if (I.Op != Opcode::FFMA)
+      continue;
+    EXPECT_EQ(registerBank(I.Src[0]), registerBank(1));
+    EXPECT_EQ(registerBank(I.Src[1]), registerBank(3));
+    EXPECT_EQ(registerBank(I.Src[2]), registerBank(9));
+  }
+}
+
+TEST(OpPattern, CopiesAreIndependentChains) {
+  Kernel K = generateOpPatternBench(gtx680(), makeFADD(0, 1, 0), 64, 4);
+  // Body instructions rotate through dsts R0, R8, R16, R24.
+  std::vector<uint8_t> Dsts;
+  for (const Instruction &I : K.Code)
+    if (I.Op == Opcode::FADD)
+      Dsts.push_back(I.Dst);
+  ASSERT_GE(Dsts.size(), 8u);
+  EXPECT_EQ(Dsts[0], 0);
+  EXPECT_EQ(Dsts[1], 8);
+  EXPECT_EQ(Dsts[2], 16);
+  EXPECT_EQ(Dsts[3], 24);
+  EXPECT_EQ(Dsts[4], 0);
+}
+
+TEST(OpPattern, InitializesTouchedRegisters) {
+  Kernel K = generateOpPatternBench(gtx680(), makeFMUL(0, 1, 2), 16, 2);
+  // MOV32I of 1.0f for each renamed register before the body.
+  int Movs = 0;
+  for (const Instruction &I : K.Code)
+    if (I.Op == Opcode::MOV32I) {
+      EXPECT_EQ(static_cast<uint32_t>(I.Imm), 0x3f800000u);
+      ++Movs;
+    }
+  EXPECT_EQ(Movs, 2 * 3); // 3 registers x 2 copies.
+}
+
+TEST(OpPattern, Table2HasAllRows) {
+  // 6 accumulator rows + 13 distinct-operand rows.
+  EXPECT_EQ(table2Patterns().size(), 19u);
+}
+
+// --- PerfDatabase ----------------------------------------------------------------
+
+TEST(PerfDatabase, MemoizesMeasurements) {
+  PerfDatabase DB(gtx580());
+  double First = DB.mixThroughput(6, MemWidth::B64, true, 256);
+  double Second = DB.mixThroughput(6, MemWidth::B64, true, 256);
+  EXPECT_EQ(First, Second); // And the second call is a cache hit.
+  EXPECT_GT(First, 0);
+}
+
+TEST(PerfDatabase, SaturatedOccupancyPerMachine) {
+  PerfDatabase Fermi(gtx580());
+  PerfDatabase Kepler(gtx680());
+  // Fermi's 32K registers cap the 32-reg benchmark at 1024 threads;
+  // Kepler reaches 2048, so its saturated throughput is far higher.
+  EXPECT_GT(Kepler.ffmaPeak(), 3 * Fermi.ffmaPeak());
+}

@@ -1,0 +1,83 @@
+//===- tools/gpuas.cpp - assembler driver ----------------------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// Assembles a text file in the native assembly language into a binary
+// module (the role asfermi played for the paper).
+//
+//   gpuas input.asm [-o out.gpub] [--notation none|heuristic|tuned]
+//
+// The --notation option rewrites the Kepler scheduling control words with
+// the chosen quality before writing the module.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmtool/Assembler.h"
+#include "asmtool/NotationTuner.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace gpuperf;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: gpuas input.asm [-o out.gpub] "
+               "[--notation none|heuristic|tuned]\n");
+  return 2;
+}
+
+int main(int Argc, char **Argv) {
+  const char *Input = nullptr;
+  std::string Output;
+  const char *Notation = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
+      Output = Argv[++I];
+    else if (std::strcmp(Argv[I], "--notation") == 0 && I + 1 < Argc)
+      Notation = Argv[++I];
+    else if (Argv[I][0] == '-')
+      return usage();
+    else if (!Input)
+      Input = Argv[I];
+    else
+      return usage();
+  }
+  if (!Input)
+    return usage();
+  if (Output.empty()) {
+    Output = Input;
+    size_t Dot = Output.rfind('.');
+    if (Dot != std::string::npos)
+      Output.resize(Dot);
+    Output += ".gpub";
+  }
+
+  std::ifstream In(Input);
+  if (!In) {
+    std::fprintf(stderr, "gpuas: cannot open %s\n", Input);
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  auto M = assembleText(Buffer.str());
+  if (!M) {
+    std::fprintf(stderr, "gpuas: %s: %s\n", Input, M.message().c_str());
+    return 1;
+  }
+  if (Notation && M->Arch == GpuGeneration::Kepler) {
+    NotationQuality Q = parseNotationQuality(Notation);
+    for (Kernel &K : M->Kernels)
+      tuneNotations(gtx680(), K, Q);
+  }
+  if (Status S = M->writeToFile(Output); S.failed()) {
+    std::fprintf(stderr, "gpuas: %s\n", S.message().c_str());
+    return 1;
+  }
+  std::printf("gpuas: wrote %s (%zu kernels)\n", Output.c_str(),
+              M->Kernels.size());
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- tools/gpudis.cpp - disassembler driver ------------------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// Disassembles a binary module back to assembly text, optionally with the
+// static analyses the paper ran on foreign binaries (instruction mix and
+// the Figure 8 FFMA bank-conflict census).
+//
+//   gpudis module.gpub [--report]
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BinaryAnalysis.h"
+#include "asmtool/Disassembler.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace gpuperf;
+
+int main(int Argc, char **Argv) {
+  const char *Input = nullptr;
+  bool Report = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--report") == 0)
+      Report = true;
+    else if (!Input)
+      Input = Argv[I];
+    else
+      Input = nullptr;
+  }
+  if (!Input) {
+    std::fprintf(stderr, "usage: gpudis module.gpub [--report]\n");
+    return 2;
+  }
+  auto M = Module::readFromFile(Input);
+  if (!M) {
+    std::fprintf(stderr, "gpudis: %s\n", M.message().c_str());
+    return 1;
+  }
+  if (Report) {
+    for (const Kernel &K : M->Kernels)
+      std::printf("%s\n", renderKernelReport(K).c_str());
+    return 0;
+  }
+  std::printf("%s", disassembleModule(*M).c_str());
+  return 0;
+}

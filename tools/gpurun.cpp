@@ -1,0 +1,125 @@
+//===- tools/gpurun.cpp - kernel launch driver ------------------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// Loads a binary module and runs one kernel on the simulated GPU,
+// printing the timing statistics -- the quick path for assembly-level
+// microbenchmarking, which is the paper's core methodology.
+//
+//   gpurun module.gpub [kernel] [--machine GTX580|GTX680]
+//          [--grid X[,Y]] [--block N] [--param word]... [--mem bytes]
+//
+// Parameters are 32-bit words loaded into the constant bank (LDC);
+// --mem reserves a global allocation whose base address is appended as
+// the *first* parameter when present.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Launcher.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace gpuperf;
+
+static int usage() {
+  std::fprintf(
+      stderr,
+      "usage: gpurun module.gpub [kernel] [--machine GTX580|GTX680]\n"
+      "              [--grid X[,Y]] [--block N] [--param word]...\n"
+      "              [--mem bytes]\n");
+  return 2;
+}
+
+int main(int Argc, char **Argv) {
+  const char *Input = nullptr;
+  std::string KernelName;
+  const MachineDesc *M = nullptr;
+  LaunchConfig Config;
+  Config.Dims.BlockX = 256;
+  Config.Dims.GridX = 1;
+  size_t MemBytes = 0;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--machine") == 0 && I + 1 < Argc) {
+      M = findMachine(Argv[++I]);
+      if (!M) {
+        std::fprintf(stderr, "gpurun: unknown machine\n");
+        return 2;
+      }
+    } else if (std::strcmp(Argv[I], "--grid") == 0 && I + 1 < Argc) {
+      const char *Spec = Argv[++I];
+      Config.Dims.GridX = std::atoi(Spec);
+      if (const char *Comma = std::strchr(Spec, ','))
+        Config.Dims.GridY = std::atoi(Comma + 1);
+    } else if (std::strcmp(Argv[I], "--block") == 0 && I + 1 < Argc) {
+      Config.Dims.BlockX = std::atoi(Argv[++I]);
+    } else if (std::strcmp(Argv[I], "--param") == 0 && I + 1 < Argc) {
+      Config.Params.push_back(
+          static_cast<uint32_t>(std::strtoul(Argv[++I], nullptr, 0)));
+    } else if (std::strcmp(Argv[I], "--mem") == 0 && I + 1 < Argc) {
+      MemBytes = static_cast<size_t>(std::strtoull(Argv[++I], nullptr, 0));
+    } else if (Argv[I][0] == '-') {
+      return usage();
+    } else if (!Input) {
+      Input = Argv[I];
+    } else if (KernelName.empty()) {
+      KernelName = Argv[I];
+    } else {
+      return usage();
+    }
+  }
+  if (!Input)
+    return usage();
+
+  auto Mod = Module::readFromFile(Input);
+  if (!Mod) {
+    std::fprintf(stderr, "gpurun: %s\n", Mod.message().c_str());
+    return 1;
+  }
+  if (!M)
+    M = Mod->Arch == GpuGeneration::Kepler ? &gtx680() : &gtx580();
+  const Kernel *K = KernelName.empty()
+                        ? (Mod->Kernels.empty() ? nullptr
+                                                : &Mod->Kernels[0])
+                        : Mod->findKernel(KernelName);
+  if (!K) {
+    std::fprintf(stderr, "gpurun: kernel not found\n");
+    return 1;
+  }
+
+  GlobalMemory GM;
+  if (MemBytes) {
+    uint32_t Base = GM.allocate(MemBytes);
+    Config.Params.insert(Config.Params.begin(), Base);
+  }
+  auto R = launchKernel(*M, *K, Config, GM);
+  if (!R) {
+    std::fprintf(stderr, "gpurun: %s\n", R.message().c_str());
+    return 1;
+  }
+  const SimStats &S = R->Stats;
+  std::printf("kernel %s on %s: grid %dx%d, block %d "
+              "(%d blocks/SM resident, limited by %s)\n",
+              K->Name.c_str(), M->Name.c_str(), Config.Dims.GridX,
+              Config.Dims.GridY, Config.Dims.BlockX, R->Occ.ActiveBlocks,
+              occupancyLimitName(R->Occ.Limit));
+  std::printf("cycles             %12.0f\n", R->TotalCycles);
+  std::printf("time               %12.3f us\n", R->seconds(*M) * 1e6);
+  std::printf("thread insts       %12llu (%.2f per cycle per SM)\n",
+              static_cast<unsigned long long>(S.ThreadInstsIssued),
+              R->TotalCycles > 0
+                  ? S.ThreadInstsIssued / R->TotalCycles / M->NumSMs
+                  : 0.0);
+  std::printf("FFMA insts         %12llu\n",
+              static_cast<unsigned long long>(S.ffmaThreadInsts()));
+  std::printf("global bytes       %12llu\n",
+              static_cast<unsigned long long>(S.GlobalBytes));
+  std::printf("shared conflicts   %12llu\n",
+              static_cast<unsigned long long>(S.SharedConflictEvents));
+  std::printf("scheduler replays  %12llu\n",
+              static_cast<unsigned long long>(S.ReplayPenalties));
+  return 0;
+}
