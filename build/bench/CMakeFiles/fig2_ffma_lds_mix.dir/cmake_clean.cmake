@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ffma_lds_mix.dir/fig2_ffma_lds_mix.cpp.o"
+  "CMakeFiles/fig2_ffma_lds_mix.dir/fig2_ffma_lds_mix.cpp.o.d"
+  "fig2_ffma_lds_mix"
+  "fig2_ffma_lds_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ffma_lds_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

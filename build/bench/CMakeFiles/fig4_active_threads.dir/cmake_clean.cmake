@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_active_threads.dir/fig4_active_threads.cpp.o"
+  "CMakeFiles/fig4_active_threads.dir/fig4_active_threads.cpp.o.d"
+  "fig4_active_threads"
+  "fig4_active_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_active_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_active_threads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sgemm_variants.dir/fig5_sgemm_variants.cpp.o"
+  "CMakeFiles/fig5_sgemm_variants.dir/fig5_sgemm_variants.cpp.o.d"
+  "fig5_sgemm_variants"
+  "fig5_sgemm_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sgemm_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

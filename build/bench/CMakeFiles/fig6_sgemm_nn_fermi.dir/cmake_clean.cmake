@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sgemm_nn_fermi.dir/fig6_sgemm_nn_fermi.cpp.o"
+  "CMakeFiles/fig6_sgemm_nn_fermi.dir/fig6_sgemm_nn_fermi.cpp.o.d"
+  "fig6_sgemm_nn_fermi"
+  "fig6_sgemm_nn_fermi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sgemm_nn_fermi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_sgemm_nn_fermi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sgemm_nn_kepler.dir/fig7_sgemm_nn_kepler.cpp.o"
+  "CMakeFiles/fig7_sgemm_nn_kepler.dir/fig7_sgemm_nn_kepler.cpp.o.d"
+  "fig7_sgemm_nn_kepler"
+  "fig7_sgemm_nn_kepler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sgemm_nn_kepler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

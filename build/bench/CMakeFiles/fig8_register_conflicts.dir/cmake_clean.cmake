@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_register_conflicts.dir/fig8_register_conflicts.cpp.o"
+  "CMakeFiles/fig8_register_conflicts.dir/fig8_register_conflicts.cpp.o.d"
+  "fig8_register_conflicts"
+  "fig8_register_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_register_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_register_allocation.dir/fig9_register_allocation.cpp.o"
+  "CMakeFiles/fig9_register_allocation.dir/fig9_register_allocation.cpp.o.d"
+  "fig9_register_allocation"
+  "fig9_register_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_register_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issue_headroom_generations.dir/issue_headroom_generations.cpp.o"
+  "CMakeFiles/issue_headroom_generations.dir/issue_headroom_generations.cpp.o.d"
+  "issue_headroom_generations"
+  "issue_headroom_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issue_headroom_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for issue_headroom_generations.
+# This may be replaced when dependencies are built.

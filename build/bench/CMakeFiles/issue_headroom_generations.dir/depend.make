@@ -1,0 +1,2 @@
+# Empty dependencies file for issue_headroom_generations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k20x_projection.dir/k20x_projection.cpp.o"
+  "CMakeFiles/k20x_projection.dir/k20x_projection.cpp.o.d"
+  "k20x_projection"
+  "k20x_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k20x_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for k20x_projection.
+# This may be replaced when dependencies are built.

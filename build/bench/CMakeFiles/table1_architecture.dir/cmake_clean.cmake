@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_architecture.dir/table1_architecture.cpp.o"
+  "CMakeFiles/table1_architecture.dir/table1_architecture.cpp.o.d"
+  "table1_architecture"
+  "table1_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_microbench.dir/toolchain_microbench.cpp.o"
+  "CMakeFiles/toolchain_microbench.dir/toolchain_microbench.cpp.o.d"
+  "toolchain_microbench"
+  "toolchain_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

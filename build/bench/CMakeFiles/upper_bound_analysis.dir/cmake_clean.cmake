@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upper_bound_analysis.dir/upper_bound_analysis.cpp.o"
+  "CMakeFiles/upper_bound_analysis.dir/upper_bound_analysis.cpp.o.d"
+  "upper_bound_analysis"
+  "upper_bound_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upper_bound_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

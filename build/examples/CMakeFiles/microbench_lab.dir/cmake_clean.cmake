@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_lab.dir/microbench_lab.cpp.o"
+  "CMakeFiles/microbench_lab.dir/microbench_lab.cpp.o.d"
+  "microbench_lab"
+  "microbench_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sassdis.dir/sassdis.cpp.o"
+  "CMakeFiles/sassdis.dir/sassdis.cpp.o.d"
+  "sassdis"
+  "sassdis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sassdis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

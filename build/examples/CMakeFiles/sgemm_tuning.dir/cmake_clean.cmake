@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgemm_tuning.dir/sgemm_tuning.cpp.o"
+  "CMakeFiles/sgemm_tuning.dir/sgemm_tuning.cpp.o.d"
+  "sgemm_tuning"
+  "sgemm_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgemm_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

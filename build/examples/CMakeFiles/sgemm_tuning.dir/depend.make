@@ -1,0 +1,2 @@
+# Empty dependencies file for sgemm_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upper_bound_explorer.dir/upper_bound_explorer.cpp.o"
+  "CMakeFiles/upper_bound_explorer.dir/upper_bound_explorer.cpp.o.d"
+  "upper_bound_explorer"
+  "upper_bound_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upper_bound_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

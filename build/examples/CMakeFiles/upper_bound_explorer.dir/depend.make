@@ -1,0 +1,2 @@
+# Empty dependencies file for upper_bound_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("arch")
+subdirs("isa")
+subdirs("asmtool")
+subdirs("sim")
+subdirs("ubench")
+subdirs("model")
+subdirs("kernelgen")
+subdirs("sgemm")
+subdirs("analysis")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/BinaryAnalysis.cpp" "src/analysis/CMakeFiles/gpuperf_analysis.dir/BinaryAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/gpuperf_analysis.dir/BinaryAnalysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gpuperf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpuperf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gpuperf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

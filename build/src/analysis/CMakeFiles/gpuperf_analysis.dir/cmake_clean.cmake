@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_analysis.dir/BinaryAnalysis.cpp.o"
+  "CMakeFiles/gpuperf_analysis.dir/BinaryAnalysis.cpp.o.d"
+  "libgpuperf_analysis.a"
+  "libgpuperf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

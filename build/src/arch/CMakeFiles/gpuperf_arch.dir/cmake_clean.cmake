@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_arch.dir/MachineDesc.cpp.o"
+  "CMakeFiles/gpuperf_arch.dir/MachineDesc.cpp.o.d"
+  "CMakeFiles/gpuperf_arch.dir/Occupancy.cpp.o"
+  "CMakeFiles/gpuperf_arch.dir/Occupancy.cpp.o.d"
+  "libgpuperf_arch.a"
+  "libgpuperf_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmtool/Assembler.cpp" "src/asmtool/CMakeFiles/gpuperf_asmtool.dir/Assembler.cpp.o" "gcc" "src/asmtool/CMakeFiles/gpuperf_asmtool.dir/Assembler.cpp.o.d"
+  "/root/repo/src/asmtool/Disassembler.cpp" "src/asmtool/CMakeFiles/gpuperf_asmtool.dir/Disassembler.cpp.o" "gcc" "src/asmtool/CMakeFiles/gpuperf_asmtool.dir/Disassembler.cpp.o.d"
+  "/root/repo/src/asmtool/NotationTuner.cpp" "src/asmtool/CMakeFiles/gpuperf_asmtool.dir/NotationTuner.cpp.o" "gcc" "src/asmtool/CMakeFiles/gpuperf_asmtool.dir/NotationTuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gpuperf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpuperf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gpuperf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

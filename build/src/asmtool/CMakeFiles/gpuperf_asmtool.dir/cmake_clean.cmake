@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_asmtool.dir/Assembler.cpp.o"
+  "CMakeFiles/gpuperf_asmtool.dir/Assembler.cpp.o.d"
+  "CMakeFiles/gpuperf_asmtool.dir/Disassembler.cpp.o"
+  "CMakeFiles/gpuperf_asmtool.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/gpuperf_asmtool.dir/NotationTuner.cpp.o"
+  "CMakeFiles/gpuperf_asmtool.dir/NotationTuner.cpp.o.d"
+  "libgpuperf_asmtool.a"
+  "libgpuperf_asmtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_asmtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

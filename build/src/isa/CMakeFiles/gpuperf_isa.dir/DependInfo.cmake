@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/ControlNotation.cpp" "src/isa/CMakeFiles/gpuperf_isa.dir/ControlNotation.cpp.o" "gcc" "src/isa/CMakeFiles/gpuperf_isa.dir/ControlNotation.cpp.o.d"
+  "/root/repo/src/isa/Encoding.cpp" "src/isa/CMakeFiles/gpuperf_isa.dir/Encoding.cpp.o" "gcc" "src/isa/CMakeFiles/gpuperf_isa.dir/Encoding.cpp.o.d"
+  "/root/repo/src/isa/Instruction.cpp" "src/isa/CMakeFiles/gpuperf_isa.dir/Instruction.cpp.o" "gcc" "src/isa/CMakeFiles/gpuperf_isa.dir/Instruction.cpp.o.d"
+  "/root/repo/src/isa/Module.cpp" "src/isa/CMakeFiles/gpuperf_isa.dir/Module.cpp.o" "gcc" "src/isa/CMakeFiles/gpuperf_isa.dir/Module.cpp.o.d"
+  "/root/repo/src/isa/Opcode.cpp" "src/isa/CMakeFiles/gpuperf_isa.dir/Opcode.cpp.o" "gcc" "src/isa/CMakeFiles/gpuperf_isa.dir/Opcode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gpuperf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpuperf_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

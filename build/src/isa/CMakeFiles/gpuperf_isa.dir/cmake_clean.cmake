@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_isa.dir/ControlNotation.cpp.o"
+  "CMakeFiles/gpuperf_isa.dir/ControlNotation.cpp.o.d"
+  "CMakeFiles/gpuperf_isa.dir/Encoding.cpp.o"
+  "CMakeFiles/gpuperf_isa.dir/Encoding.cpp.o.d"
+  "CMakeFiles/gpuperf_isa.dir/Instruction.cpp.o"
+  "CMakeFiles/gpuperf_isa.dir/Instruction.cpp.o.d"
+  "CMakeFiles/gpuperf_isa.dir/Module.cpp.o"
+  "CMakeFiles/gpuperf_isa.dir/Module.cpp.o.d"
+  "CMakeFiles/gpuperf_isa.dir/Opcode.cpp.o"
+  "CMakeFiles/gpuperf_isa.dir/Opcode.cpp.o.d"
+  "libgpuperf_isa.a"
+  "libgpuperf_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_kernelgen.dir/Baselines.cpp.o"
+  "CMakeFiles/gpuperf_kernelgen.dir/Baselines.cpp.o.d"
+  "CMakeFiles/gpuperf_kernelgen.dir/RegAllocator.cpp.o"
+  "CMakeFiles/gpuperf_kernelgen.dir/RegAllocator.cpp.o.d"
+  "CMakeFiles/gpuperf_kernelgen.dir/SgemmGenerator.cpp.o"
+  "CMakeFiles/gpuperf_kernelgen.dir/SgemmGenerator.cpp.o.d"
+  "libgpuperf_kernelgen.a"
+  "libgpuperf_kernelgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_kernelgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_model.dir/UpperBound.cpp.o"
+  "CMakeFiles/gpuperf_model.dir/UpperBound.cpp.o.d"
+  "libgpuperf_model.a"
+  "libgpuperf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

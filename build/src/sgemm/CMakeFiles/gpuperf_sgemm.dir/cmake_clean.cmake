@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_sgemm.dir/Reference.cpp.o"
+  "CMakeFiles/gpuperf_sgemm.dir/Reference.cpp.o.d"
+  "CMakeFiles/gpuperf_sgemm.dir/SgemmRunner.cpp.o"
+  "CMakeFiles/gpuperf_sgemm.dir/SgemmRunner.cpp.o.d"
+  "libgpuperf_sgemm.a"
+  "libgpuperf_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_sim.dir/Executor.cpp.o"
+  "CMakeFiles/gpuperf_sim.dir/Executor.cpp.o.d"
+  "CMakeFiles/gpuperf_sim.dir/Launcher.cpp.o"
+  "CMakeFiles/gpuperf_sim.dir/Launcher.cpp.o.d"
+  "CMakeFiles/gpuperf_sim.dir/SMSimulator.cpp.o"
+  "CMakeFiles/gpuperf_sim.dir/SMSimulator.cpp.o.d"
+  "libgpuperf_sim.a"
+  "libgpuperf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_support.dir/Format.cpp.o"
+  "CMakeFiles/gpuperf_support.dir/Format.cpp.o.d"
+  "CMakeFiles/gpuperf_support.dir/Table.cpp.o"
+  "CMakeFiles/gpuperf_support.dir/Table.cpp.o.d"
+  "libgpuperf_support.a"
+  "libgpuperf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_ubench.dir/MixBench.cpp.o"
+  "CMakeFiles/gpuperf_ubench.dir/MixBench.cpp.o.d"
+  "CMakeFiles/gpuperf_ubench.dir/OpPattern.cpp.o"
+  "CMakeFiles/gpuperf_ubench.dir/OpPattern.cpp.o.d"
+  "CMakeFiles/gpuperf_ubench.dir/PerfDatabase.cpp.o"
+  "CMakeFiles/gpuperf_ubench.dir/PerfDatabase.cpp.o.d"
+  "libgpuperf_ubench.a"
+  "libgpuperf_ubench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

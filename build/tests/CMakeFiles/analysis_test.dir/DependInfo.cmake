@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/analysis_test.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/AnalysisTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gpuperf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgemm/CMakeFiles/gpuperf_sgemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelgen/CMakeFiles/gpuperf_kernelgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/gpuperf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ubench/CMakeFiles/gpuperf_ubench.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmtool/CMakeFiles/gpuperf_asmtool.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gpuperf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpuperf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gpuperf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

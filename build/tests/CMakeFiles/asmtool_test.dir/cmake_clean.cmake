@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmtool_test.dir/AsmToolTest.cpp.o"
+  "CMakeFiles/asmtool_test.dir/AsmToolTest.cpp.o.d"
+  "asmtool_test"
+  "asmtool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmtool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelgen_test.dir/KernelGenTest.cpp.o"
+  "CMakeFiles/kernelgen_test.dir/KernelGenTest.cpp.o.d"
+  "kernelgen_test"
+  "kernelgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notation_tuner_test.dir/NotationTunerTest.cpp.o"
+  "CMakeFiles/notation_tuner_test.dir/NotationTunerTest.cpp.o.d"
+  "notation_tuner_test"
+  "notation_tuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notation_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

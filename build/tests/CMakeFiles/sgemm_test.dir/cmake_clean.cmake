@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgemm_test.dir/SgemmTest.cpp.o"
+  "CMakeFiles/sgemm_test.dir/SgemmTest.cpp.o.d"
+  "sgemm_test"
+  "sgemm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_functional_test.dir/SimFunctionalTest.cpp.o"
+  "CMakeFiles/sim_functional_test.dir/SimFunctionalTest.cpp.o.d"
+  "sim_functional_test"
+  "sim_functional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_functional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_test.dir/UbenchTest.cpp.o"
+  "CMakeFiles/ubench_test.dir/UbenchTest.cpp.o.d"
+  "ubench_test"
+  "ubench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;16;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(arch_test "/root/repo/build/tests/arch_test")
+set_tests_properties(arch_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;17;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(isa_test "/root/repo/build/tests/isa_test")
+set_tests_properties(isa_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;18;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(asmtool_test "/root/repo/build/tests/asmtool_test")
+set_tests_properties(asmtool_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;19;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_functional_test "/root/repo/build/tests/sim_functional_test")
+set_tests_properties(sim_functional_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;20;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_timing_test "/root/repo/build/tests/sim_timing_test")
+set_tests_properties(sim_timing_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;21;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(model_test "/root/repo/build/tests/model_test")
+set_tests_properties(model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;23;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kernelgen_test "/root/repo/build/tests/kernelgen_test")
+set_tests_properties(kernelgen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;24;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sgemm_test "/root/repo/build/tests/sgemm_test")
+set_tests_properties(sgemm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;25;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_test "/root/repo/build/tests/analysis_test")
+set_tests_properties(analysis_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;26;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ubench_test "/root/repo/build/tests/ubench_test")
+set_tests_properties(ubench_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;28;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(robustness_test "/root/repo/build/tests/robustness_test")
+set_tests_properties(robustness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;29;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_property_test "/root/repo/build/tests/sim_property_test")
+set_tests_properties(sim_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;30;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(notation_tuner_test "/root/repo/build/tests/notation_tuner_test")
+set_tests_properties(notation_tuner_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;31;gpuperf_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuas.dir/gpuas.cpp.o"
+  "CMakeFiles/gpuas.dir/gpuas.cpp.o.d"
+  "gpuas"
+  "gpuas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

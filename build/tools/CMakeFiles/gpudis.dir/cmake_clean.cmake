@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpudis.dir/gpudis.cpp.o"
+  "CMakeFiles/gpudis.dir/gpudis.cpp.o.d"
+  "gpudis"
+  "gpudis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpudis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

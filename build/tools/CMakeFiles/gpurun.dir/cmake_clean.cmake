@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpurun.dir/gpurun.cpp.o"
+  "CMakeFiles/gpurun.dir/gpurun.cpp.o.d"
+  "gpurun"
+  "gpurun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpurun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

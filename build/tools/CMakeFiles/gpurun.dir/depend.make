@@ -1,0 +1,2 @@
+# Empty dependencies file for gpurun.
+# This may be replaced when dependencies are built.
