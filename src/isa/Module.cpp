@@ -17,6 +17,13 @@ using namespace gpuperf;
 static constexpr uint32_t ModuleMagic = 0x42555047; // "GPUB" little-endian.
 static constexpr uint32_t ModuleVersion = 1;
 
+// Absolute sanity caps for deserialization, far above anything the
+// toolchain produces. File-size-proportional checks below already bound
+// allocations; these additionally reject absurd headers in huge files.
+static constexpr uint32_t MaxModuleKernels = 1u << 16;
+static constexpr uint32_t MaxKernelNameBytes = 1u << 12;
+static constexpr uint32_t MaxKernelInsts = 1u << 22;
+
 void Kernel::addDefaultNotations() {
   Notations.assign(requiredNotationCount(), ControlNotation());
 }
@@ -180,7 +187,7 @@ Expected<Module> Module::deserialize(const std::vector<uint8_t> &Bytes) {
     return EM::error("truncated module header");
   // Each kernel needs at least its 20-byte header; a corrupt count must
   // not drive huge allocations.
-  if (NumKernels > R.remaining() / 20)
+  if (NumKernels > MaxModuleKernels || NumKernels > R.remaining() / 20)
     return EM::error("kernel count exceeds the file size");
 
   Module M;
@@ -191,12 +198,15 @@ Expected<Module> Module::deserialize(const std::vector<uint8_t> &Bytes) {
     if (!R.readString(K.Name) || !R.readU32(Regs) || !R.readU32(Shared) ||
         !R.readU32(NumInsts) || !R.readU32(HasNotations))
       return EM::error(formatString("truncated kernel header %u", KI));
+    if (K.Name.size() > MaxKernelNameBytes)
+      return EM::error(formatString("implausible kernel name length %zu",
+                                    K.Name.size()));
     if (Regs > 255 || Shared > 1u << 20)
       return EM::error(formatString(
           "implausible kernel header (%u registers, %u shared bytes)",
           Regs, Shared));
     // Every instruction occupies at least 8 bytes in the stream.
-    if (NumInsts > R.remaining() / 8)
+    if (NumInsts > MaxKernelInsts || NumInsts > R.remaining() / 8)
       return EM::error("instruction count exceeds the file size");
     K.RegsPerThread = static_cast<int>(Regs);
     K.SharedBytes = static_cast<int>(Shared);

@@ -45,10 +45,12 @@ uint32_t floatBits(float F) {
   return U;
 }
 
-uint32_t uploadMatrix(GlobalMemory &GM, const HostMatrix &M) {
-  uint32_t Addr = GM.allocate(M.Data.size() * 4);
+Expected<uint32_t> uploadMatrix(GlobalMemory &GM, const HostMatrix &M) {
+  auto Addr = GM.tryAllocate(M.Data.size() * 4);
+  if (!Addr)
+    return Addr;
   for (size_t I = 0; I < M.Data.size(); ++I)
-    GM.storeFloat(static_cast<uint32_t>(Addr + 4 * I), M.Data[I]);
+    GM.storeFloat(static_cast<uint32_t>(*Addr + 4 * I), M.Data[I]);
   return Addr;
 }
 
@@ -98,18 +100,23 @@ gpuperf::runSgemmConfig(const MachineDesc &M, SgemmKernelConfig Cfg,
   size_t Bytes =
       (A.Data.size() + B.Data.size() + C.Data.size()) * 4 + (1 << 16);
   GlobalMemory GM(Bytes);
-  uint32_t AAddr = uploadMatrix(GM, A);
-  uint32_t BAddr = uploadMatrix(GM, B);
-  uint32_t CAddr = uploadMatrix(GM, C);
+  auto AAddr = uploadMatrix(GM, A);
+  auto BAddr = uploadMatrix(GM, B);
+  auto CAddr = uploadMatrix(GM, C);
+  if (!AAddr || !BAddr || !CAddr)
+    return ER::error(formatString(
+        "matrices do not fit the simulated device: %s",
+        (!AAddr ? AAddr : !BAddr ? BAddr : CAddr).message().c_str()));
 
   SgemmLaunchShape Shape = sgemmLaunchShape(Cfg);
   LaunchConfig Launch;
   Launch.Dims.GridX = Shape.GridX;
   Launch.Dims.GridY = Shape.GridY;
   Launch.Dims.BlockX = Shape.BlockX;
-  Launch.Params = {AAddr, BAddr, CAddr, floatBits(Problem.Alpha),
+  Launch.Params = {*AAddr, *BAddr, *CAddr, floatBits(Problem.Alpha),
                    floatBits(Problem.Beta)};
   Launch.Mode = Options.Mode;
+  Launch.WatchdogCycles = Options.WatchdogCycles;
 
   auto LR = launchKernel(M, K, Launch, GM);
   if (!LR)
@@ -133,7 +140,7 @@ gpuperf::runSgemmConfig(const MachineDesc &M, SgemmKernelConfig Cfg,
                    CInitial.Data.data(), MP);
     double MaxErr = 0;
     for (size_t I = 0; I < C.Data.size(); ++I) {
-      float Got = GM.loadFloat(static_cast<uint32_t>(CAddr + 4 * I));
+      float Got = GM.loadFloat(static_cast<uint32_t>(*CAddr + 4 * I));
       MaxErr = std::max(
           MaxErr, static_cast<double>(std::fabs(Got - CInitial.Data[I])));
     }

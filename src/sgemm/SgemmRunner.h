@@ -51,6 +51,9 @@ struct SgemmRunOptions {
   SimMode Mode = SimMode::ProjectOneWave;
   bool Verify = false; ///< Requires Mode == Full.
   uint64_t Seed = 1;   ///< Matrix-content RNG seed.
+  /// Per-wave watchdog cycle budget (0 = derived default); runtime traps
+  /// fail the run with the trap diagnostic in the Expected message.
+  uint64_t WatchdogCycles = 0;
 };
 
 /// Runs \p Problem with implementation \p Impl on machine \p M.

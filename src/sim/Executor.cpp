@@ -28,6 +28,15 @@ uint32_t asBits(float F) {
   return Bits;
 }
 
+/// Single-precision results are canonicalized as on real GPUs: SASS
+/// float ops return one canonical quiet NaN rather than propagating
+/// input payloads. Host compilers leave NaN payload selection to the
+/// CPU's (operand-order-dependent) rules, so canonicalizing is also
+/// what keeps simulation results bit-reproducible across builds.
+uint32_t floatResultBits(float F) {
+  return std::isnan(F) ? 0x7fffffffu : asBits(F);
+}
+
 /// Computes the shared-memory serialization multiplier for a warp access.
 ///
 /// Banks are NumBanks words of BankBytes; lanes touching distinct words in
@@ -93,7 +102,9 @@ ExecEffects Executor::execute(const Instruction &I, WarpContext &W,
       if (Taken < 0)
         Taken = LaneTaken;
       else if (Taken != LaneTaken) {
-        Fx.Fault = "divergent branch is not supported by the simulator";
+        Fx.Trap = TrapKind::DivergentBranch;
+        Fx.TrapLane = Lane;
+        Fx.TrapDetail = "divergent branch is not supported by the simulator";
         return Fx;
       }
     }
@@ -119,9 +130,10 @@ ExecEffects Executor::execute(const Instruction &I, WarpContext &W,
       int64_t Addr =
           static_cast<int64_t>(W.readReg(I.Src[0], Lane)) + I.Imm;
       if (Addr % Width != 0) {
-        Fx.Fault = formatString(
-            "misaligned %d-byte access at address 0x%llx (lane %d)", Width,
-            static_cast<long long>(Addr), Lane);
+        Fx.Trap = TrapKind::MisalignedAccess;
+        Fx.TrapAddress = static_cast<uint64_t>(Addr);
+        Fx.TrapLane = Lane;
+        Fx.TrapDetail = formatString("%d-byte access", Width);
         return Fx;
       }
       bool Ok = IsShared ? Shared.inBounds(Addr, Width)
@@ -129,10 +141,18 @@ ExecEffects Executor::execute(const Instruction &I, WarpContext &W,
                                             static_cast<uint64_t>(Addr),
                                             Width);
       if (!Ok) {
-        Fx.Fault = formatString(
-            "%s memory access out of bounds at 0x%llx (lane %d)",
-            IsShared ? "shared" : "global", static_cast<long long>(Addr),
-            Lane);
+        Fx.Trap = IsShared ? (IsLoad ? TrapKind::SharedLoadOOB
+                                     : TrapKind::SharedStoreOOB)
+                           : (IsLoad ? TrapKind::GlobalLoadOOB
+                                     : TrapKind::GlobalStoreOOB);
+        Fx.TrapAddress = static_cast<uint64_t>(Addr);
+        Fx.TrapLane = Lane;
+        Fx.TrapDetail = formatString(
+            "%s of %d bytes against a %lld-byte %s allocation",
+            IsLoad ? "load" : "store", Width,
+            IsShared ? static_cast<long long>(Shared.size())
+                     : static_cast<long long>(Global.size()),
+            IsShared ? "shared" : "global");
         return Fx;
       }
       Addrs.push_back(Addr);
@@ -182,13 +202,13 @@ ExecEffects Executor::execute(const Instruction &I, WarpContext &W,
     uint32_t Result = 0;
     switch (I.Op) {
     case Opcode::FFMA:
-      Result = asBits(std::fma(asFloat(A), asFloat(B), asFloat(C)));
+      Result = floatResultBits(std::fma(asFloat(A), asFloat(B), asFloat(C)));
       break;
     case Opcode::FADD:
-      Result = asBits(asFloat(A) + asFloat(B));
+      Result = floatResultBits(asFloat(A) + asFloat(B));
       break;
     case Opcode::FMUL:
-      Result = asBits(asFloat(A) * asFloat(B));
+      Result = floatResultBits(asFloat(A) * asFloat(B));
       break;
     case Opcode::IADD:
       Result = A + B;
@@ -256,10 +276,12 @@ ExecEffects Executor::execute(const Instruction &I, WarpContext &W,
     case Opcode::LDC: {
       size_t Index = static_cast<uint32_t>(I.Imm) / 4;
       if (Index >= Params.size()) {
-        Fx.Fault = formatString("LDC offset 0x%x beyond the %zu parameter "
-                                "words",
-                                static_cast<uint32_t>(I.Imm),
-                                Params.size());
+        Fx.Trap = TrapKind::InvalidConstOffset;
+        Fx.TrapAddress = static_cast<uint32_t>(I.Imm);
+        Fx.TrapLane = Lane;
+        Fx.TrapDetail = formatString(
+            "LDC offset 0x%x beyond the %zu parameter words",
+            static_cast<uint32_t>(I.Imm), Params.size());
         return Fx;
       }
       Result = Params[Index];
@@ -293,8 +315,11 @@ ExecEffects Executor::execute(const Instruction &I, WarpContext &W,
       continue;
     }
     default:
-      Fx.Fault = formatString("unimplemented opcode %s",
-                              std::string(opcodeMnemonic(I.Op)).c_str());
+      Fx.Trap = TrapKind::UnimplementedOpcode;
+      Fx.TrapLane = Lane;
+      Fx.TrapDetail = formatString(
+          "opcode %s decodes but has no executable semantics",
+          std::string(opcodeMnemonic(I.Op)).c_str());
       return Fx;
     }
     W.writeReg(I.Dst, Lane, Result);

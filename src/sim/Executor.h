@@ -17,6 +17,7 @@
 #include "arch/MachineDesc.h"
 #include "isa/Module.h"
 #include "sim/Memory.h"
+#include "sim/Trap.h"
 #include "sim/Warp.h"
 #include "support/Error.h"
 
@@ -47,11 +48,17 @@ struct ExecEffects {
   int GlobalTransactions = 0;
   /// Total bytes moved to/from global memory.
   int GlobalBytes = 0;
-  /// Runtime fault message (empty when OK): out-of-bounds accesses,
-  /// misaligned wide accesses, divergent branches.
-  std::string Fault;
+  /// Runtime trap raised by this instruction (TrapKind::None when OK):
+  /// out-of-bounds or misaligned accesses, divergent branches, invalid
+  /// register indices, unimplemented opcodes.
+  TrapKind Trap = TrapKind::None;
+  /// Faulting address (memory traps) and first faulting lane.
+  uint64_t TrapAddress = 0;
+  int TrapLane = -1;
+  /// Extra context for the diagnostic (e.g. the offending offset).
+  std::string TrapDetail;
 
-  bool faulted() const { return !Fault.empty(); }
+  bool faulted() const { return Trap != TrapKind::None; }
 };
 
 /// Functional executor bound to one launch's memories and geometry.

@@ -1,0 +1,103 @@
+//===- sim/FaultInjector.h - systematic kernel mutation harness -*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fault-injection harness for the whole sim stack. Starting from a
+/// valid module, it applies seeded mutations -- instruction-word bit
+/// flips, branch-target rewrites, shared-size shrinking, address-register
+/// scrambling -- then pushes each mutant through the real pipeline
+/// (serialize, deserialize, launch on the full timing simulator) and
+/// reports a structured outcome. The harness exists to enforce the
+/// simulator's contract: *any* input either runs to completion, is
+/// rejected by the loader, or traps with a TrapInfo -- it never crashes
+/// the process and it is bit-and-cycle deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SIM_FAULTINJECTOR_H
+#define GPUPERF_SIM_FAULTINJECTOR_H
+
+#include "sim/Launcher.h"
+
+#include <optional>
+
+namespace gpuperf {
+
+/// The mutation families the harness knows how to apply.
+enum class FaultKind {
+  CodeBitFlip,     ///< Flip random bits in the serialized code stream.
+  HeaderBitFlip,   ///< Flip random bits in the module/kernel headers.
+  BranchRetarget,  ///< Rewrite a BRA offset (possibly out of the code).
+  SharedShrink,    ///< Shrink the declared shared-memory allocation.
+  AddressScramble, ///< Replace an address register or offset of a
+                   ///< memory instruction with hostile values.
+};
+
+const char *faultKindName(FaultKind K);
+
+/// One mutation request: deterministic given (Kind, Seed, NumMutations).
+struct FaultPlan {
+  FaultKind Kind = FaultKind::CodeBitFlip;
+  uint64_t Seed = 0;
+  int NumMutations = 1;
+};
+
+/// What happened to one mutant.
+struct InjectionRun {
+  enum class Outcome {
+    Rejected,  ///< Loader/launcher refused the module (no simulation).
+    Completed, ///< Ran to completion under the timing simulator.
+    Trapped,   ///< Raised a structured runtime trap.
+  };
+
+  Outcome Result = Outcome::Rejected;
+  std::string RejectReason;      ///< Outcome::Rejected only.
+  std::optional<TrapInfo> Trap;  ///< Outcome::Trapped only.
+  uint64_t Cycles = 0;           ///< Outcome::Completed only.
+  uint64_t ResultHash = 0;       ///< FNV-1a of global memory after a
+                                 ///< completed run (determinism checks).
+
+  /// Canonical signature of the run: equal signatures mean the mutant
+  /// behaved identically (same outcome, same trap at the same PC and
+  /// cycle, or same cycles and memory image).
+  std::string signature() const;
+};
+
+/// Drives mutants of one base module through the full simulator.
+///
+/// The base launch configuration (grid, params, watchdog) and the global
+/// memory image are rebuilt identically for every run, so runs are
+/// independent and reproducible. If the plan's watchdog is 0, a small
+/// budget is derived so looping mutants trap quickly.
+class FaultInjector {
+public:
+  /// \p Base must contain at least one kernel; the first one is run.
+  /// \p MemBytes global memory is allocated and zero-filled per run, and
+  /// \p Launch.Params should reference addresses obtained from the same
+  /// bump-allocation order (base address 256, 256-byte alignment).
+  FaultInjector(const MachineDesc &M, Module Base, LaunchConfig Launch,
+                size_t MemBytes);
+
+  /// Runs the unmutated base module (sanity baseline).
+  InjectionRun runBaseline() const;
+
+  /// Applies \p Plan to a fresh copy of the base module and runs it.
+  InjectionRun runOne(const FaultPlan &Plan) const;
+
+private:
+  InjectionRun runModuleBytes(const std::vector<uint8_t> &Bytes) const;
+  InjectionRun runModule(const Module &Mod) const;
+
+  const MachineDesc &M;
+  Module Base;
+  std::vector<uint8_t> BaseBytes; ///< Serialized once in the ctor.
+  LaunchConfig Launch;
+  size_t MemBytes;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SIM_FAULTINJECTOR_H

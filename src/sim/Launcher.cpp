@@ -11,10 +11,24 @@
 
 using namespace gpuperf;
 
+uint64_t gpuperf::deriveWatchdogBudget(size_t CodeSize, int WaveWarps) {
+  // Rationale: a warp's dynamic instruction count is bounded by code size
+  // times loop trips; 8192 cycles of headroom per static instruction per
+  // warp covers every calibrated workload (SGEMM's ~600-trip K loops,
+  // 8192-instruction dependent microbenchmark chains at 18-26 cycle
+  // latency, 300-400 cycle global-memory stalls) by more than an order of
+  // magnitude, while a tiny runaway loop traps within ~100K cycles.
+  uint64_t Warps = static_cast<uint64_t>(WaveWarps < 1 ? 1 : WaveWarps);
+  uint64_t Insts = static_cast<uint64_t>(CodeSize < 1 ? 1 : CodeSize);
+  uint64_t Budget = 65536 + 8192 * Insts * Warps;
+  return Budget < MaxWaveCycles ? Budget : MaxWaveCycles;
+}
+
 Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
                                              const Kernel &K,
                                              const LaunchConfig &Config,
-                                             GlobalMemory &Global) {
+                                             GlobalMemory &Global,
+                                             TrapInfo *TrapOut) {
   using ER = Expected<LaunchResult>;
   const LaunchDims &Dims = Config.Dims;
   if (Dims.numBlocks() <= 0 || Dims.threadsPerBlock() <= 0)
@@ -45,6 +59,12 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
 
   Executor Exec(M, Global, Config.Params, Dims);
 
+  const int WaveWarps = Occ.ActiveBlocks * Dims.warpsPerBlock();
+  const uint64_t Watchdog =
+      Config.WatchdogCycles > 0
+          ? Config.WatchdogCycles
+          : deriveWatchdogBudget(K.Code.size(), WaveWarps);
+
   LaunchResult Result;
   Result.Occ = Occ;
 
@@ -61,7 +81,7 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
     std::vector<int> BlockIds;
     for (int B = 0; B < std::min(Occ.ActiveBlocks, NumBlocks); ++B)
       BlockIds.push_back(B);
-    auto Wave = simulateWave(M, K, Exec, Dims, BlockIds);
+    auto Wave = simulateWave(M, K, Exec, Dims, BlockIds, Watchdog, TrapOut);
     if (!Wave)
       return ER::error(Wave.message());
     Result.Stats = *Wave;
@@ -93,7 +113,8 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
                              First + static_cast<size_t>(Occ.ActiveBlocks));
       std::vector<int> WaveBlocks(Mine.begin() + First,
                                   Mine.begin() + Last);
-      auto Wave = simulateWave(M, K, Exec, Dims, WaveBlocks);
+      auto Wave =
+          simulateWave(M, K, Exec, Dims, WaveBlocks, Watchdog, TrapOut);
       if (!Wave)
         return ER::error(Wave.message());
       SMStats.addSequential(*Wave);

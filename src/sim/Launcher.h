@@ -43,6 +43,11 @@ struct LaunchConfig {
   /// When > 0, caps resident blocks per SM below what the occupancy
   /// calculator allows (used by the active-thread sweeps of Figure 4).
   int MaxResidentBlocksOverride = 0;
+  /// Per-wave watchdog cycle budget. 0 derives a generous default from
+  /// the kernel's code size and the wave's warp count (see
+  /// deriveWatchdogBudget); a kernel that loops forever fails with a
+  /// WatchdogTimeout trap instead of hanging or silently breaking.
+  uint64_t WatchdogCycles = 0;
 };
 
 /// Result of a (possibly projected) launch.
@@ -64,11 +69,22 @@ struct LaunchResult {
   }
 };
 
+/// Default per-wave watchdog budget for a kernel of \p CodeSize static
+/// instructions running \p WaveWarps warps: generous enough that every
+/// legitimate workload (deep K-loops, dependence-stalled microbenchmark
+/// chains, memory-latency-bound copies) finishes far below it, yet small
+/// enough that a runaway kernel traps promptly relative to MaxWaveCycles.
+uint64_t deriveWatchdogBudget(size_t CodeSize, int WaveWarps);
+
 /// Launches \p K on \p M. Fails on unlaunchable configurations (occupancy
-/// zero, bad parameters) or runtime faults inside the kernel.
+/// zero, bad parameters) or runtime faults inside the kernel. Runtime
+/// faults produce a structured trap: the error message is the trap's
+/// toString() and, when \p TrapOut is non-null, *TrapOut receives the
+/// full TrapInfo (kind, warp, PC, cycle, detail).
 Expected<LaunchResult> launchKernel(const MachineDesc &M, const Kernel &K,
                                     const LaunchConfig &Config,
-                                    GlobalMemory &Global);
+                                    GlobalMemory &Global,
+                                    TrapInfo *TrapOut = nullptr);
 
 } // namespace gpuperf
 

@@ -15,6 +15,8 @@
 #ifndef GPUPERF_SIM_MEMORY_H
 #define GPUPERF_SIM_MEMORY_H
 
+#include "support/Error.h"
+
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -30,15 +32,27 @@ public:
   explicit GlobalMemory(size_t Bytes = 1ull << 20) : Data(Bytes, 0) {}
 
   /// Allocates \p Bytes aligned to 256 (like cudaMalloc); returns the byte
-  /// address. Asserts on 32-bit address-space exhaustion.
-  uint32_t allocate(size_t Bytes) {
-    Next = (Next + 255) & ~size_t(255);
-    assert(Next + Bytes <= (1ull << 32) && "global address space exhausted");
-    uint32_t Addr = static_cast<uint32_t>(Next);
-    Next += Bytes;
+  /// address, or a recoverable error on 32-bit address-space exhaustion.
+  Expected<uint32_t> tryAllocate(size_t Bytes) {
+    size_t Aligned = (Next + 255) & ~size_t(255);
+    if (Aligned + Bytes > (1ull << 32))
+      return Expected<uint32_t>::error(
+          "global address space exhausted (32-bit device addressing)");
+    Next = Aligned + Bytes;
     if (Next > Data.size())
       Data.resize(Next, 0);
-    return Addr;
+    return static_cast<uint32_t>(Aligned);
+  }
+
+  /// Allocation for callers whose sizes are known small; asserts (and, in
+  /// release builds, clamps to the end of the address space) on
+  /// exhaustion. Prefer tryAllocate for anything driven by user input.
+  uint32_t allocate(size_t Bytes) {
+    auto Addr = tryAllocate(Bytes);
+    assert(Addr.hasValue() && "global address space exhausted");
+    if (!Addr.hasValue())
+      return 0xffffff00u; // Past every allocation: accesses trap as OOB.
+    return *Addr;
   }
 
   /// Resets the allocator (contents preserved).
@@ -48,14 +62,22 @@ public:
     return Addr + Bytes <= Data.size();
   }
 
+  /// Accesses are total functions: the executor raises a trap *before*
+  /// touching memory, and these guards make a missed check in some future
+  /// caller read zero / drop the store instead of corrupting the host
+  /// heap -- in release builds too (asserts compile out under NDEBUG).
   uint32_t load32(uint32_t Addr) const {
     assert(inBounds(Addr, 4) && "global load out of bounds");
+    if (!inBounds(Addr, 4))
+      return 0;
     uint32_t V;
     std::memcpy(&V, Data.data() + Addr, 4);
     return V;
   }
   void store32(uint32_t Addr, uint32_t Value) {
     assert(inBounds(Addr, 4) && "global store out of bounds");
+    if (!inBounds(Addr, 4))
+      return;
     std::memcpy(Data.data() + Addr, &Value, 4);
   }
 
@@ -82,20 +104,27 @@ private:
 /// One block's shared memory.
 class SharedMemory {
 public:
-  explicit SharedMemory(int Bytes) : Data(static_cast<size_t>(Bytes), 0) {}
+  explicit SharedMemory(int Bytes)
+      : Data(static_cast<size_t>(Bytes < 0 ? 0 : Bytes), 0) {}
 
   bool inBounds(int64_t Addr, int Bytes) const {
     return Addr >= 0 &&
            static_cast<size_t>(Addr + Bytes) <= Data.size();
   }
+  /// Total functions for the same reason as GlobalMemory: the executor
+  /// traps before calling these, and the guards keep NDEBUG builds safe.
   uint32_t load32(int64_t Addr) const {
     assert(inBounds(Addr, 4) && "shared load out of bounds");
+    if (!inBounds(Addr, 4))
+      return 0;
     uint32_t V;
     std::memcpy(&V, Data.data() + Addr, 4);
     return V;
   }
   void store32(int64_t Addr, uint32_t Value) {
     assert(inBounds(Addr, 4) && "shared store out of bounds");
+    if (!inBounds(Addr, 4))
+      return;
     std::memcpy(Data.data() + Addr, &Value, 4);
   }
   int size() const { return static_cast<int>(Data.size()); }

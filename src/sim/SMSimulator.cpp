@@ -13,6 +13,7 @@
 #include <bit>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 using namespace gpuperf;
 
@@ -24,8 +25,6 @@ constexpr int ReplayPenaltyCycles = 4;
 /// Issue-cost multiplier for Kepler binaries without control notations:
 /// the scheduler falls back to a conservative decode path.
 constexpr double NoNotationIssueFactor = 4.0;
-/// Hard safety cap so a broken kernel cannot hang the host.
-constexpr uint64_t MaxCycles = 1ull << 33;
 
 struct BlockState {
   int BlockIdLinear = 0;
@@ -37,10 +36,15 @@ struct BlockState {
 class SMSim {
 public:
   SMSim(const MachineDesc &M, const Kernel &K, Executor &Exec,
-        const LaunchDims &Dims, const std::vector<int> &BlockIds)
-      : M(M), K(K), Exec(Exec), Dims(Dims) {
+        const LaunchDims &Dims, const std::vector<int> &BlockIds,
+        uint64_t WatchdogCycles)
+      : M(M), K(K), Exec(Exec), Dims(Dims),
+        Budget(WatchdogCycles == 0
+                   ? MaxWaveCycles
+                   : std::min(WatchdogCycles, MaxWaveCycles)) {
     HasNotations =
         M.Generation != GpuGeneration::Kepler || K.hasNotations();
+    buildInstValidity();
     int WarpsPerBlock = Dims.warpsPerBlock();
     Blocks.reserve(BlockIds.size());
     for (int BlockId : BlockIds) {
@@ -72,11 +76,20 @@ public:
     RRNext.assign(NumSchedulers, 0);
   }
 
-  Expected<SimStats> run() {
+  Expected<SimStats> run(TrapInfo *TrapOut) {
+    Expected<SimStats> Result = runLoop();
+    if (!Result.hasValue() && TrapOut && Trap)
+      *TrapOut = *Trap;
+    return Result;
+  }
+
+private:
+  Expected<SimStats> runLoop() {
     while (LiveWarps > 0) {
-      if (Now >= MaxCycles)
-        return Expected<SimStats>::error(
-            "cycle limit exceeded (possible livelock in kernel)");
+      if (Now >= Budget) {
+        raiseWatchdogTrap();
+        return Expected<SimStats>::error(Trap->toString());
+      }
       bool IssuedAny = false;
       // Rotate the scheduler service order each cycle: the SM-wide issue
       // pipe is a shared resource, and a fixed order would systematically
@@ -87,24 +100,129 @@ public:
         if (Status S = runScheduler(Sched, IssuedAny); S.failed())
           return Expected<SimStats>(S);
       }
-      if (!Fault.empty())
-        return Expected<SimStats>::error(Fault);
+      if (Trap)
+        return Expected<SimStats>::error(Trap->toString());
       if (IssuedAny) {
         ++Now;
         continue;
       }
       ++Stats.IdleCycles;
       uint64_t Next = nextWakeCycle();
-      if (Next == UINT64_MAX)
-        return Expected<SimStats>::error(
-            "deadlock: no warp can make progress (barrier mismatch?)");
+      if (Next == UINT64_MAX) {
+        raiseDeadlockTrap();
+        return Expected<SimStats>::error(Trap->toString());
+      }
       Now = std::max(Now + 1, Next);
     }
     Stats.Cycles = Now;
     return Stats;
   }
 
-private:
+  /// Precomputes, per static instruction, whether every register and
+  /// predicate index it touches fits the allocated files. The 6-bit
+  /// encoding admits indices past the kernel's declared register count
+  /// (and wide accesses widen past R63; 3-bit guard fields reach the
+  /// non-architectural P4..P6), so mutated or hand-corrupted binaries can
+  /// reference state that does not exist -- those instructions trap at
+  /// issue instead of corrupting simulator memory.
+  void buildInstValidity() {
+    int NumRegs = std::max(K.RegsPerThread, 1);
+    InstRegsOk.resize(K.Code.size());
+    for (size_t PC = 0; PC < K.Code.size(); ++PC) {
+      const Instruction &I = K.Code[PC];
+      bool Ok = true;
+      for (uint8_t Reg : I.sourceRegs())
+        if (Reg != RegRZ && Reg >= NumRegs)
+          Ok = false;
+      for (uint8_t Reg : I.destRegs())
+        if (Reg != RegRZ && Reg >= NumRegs)
+          Ok = false;
+      if (I.GuardPred != PredPT && I.GuardPred >= NumPredRegs)
+        Ok = false;
+      if (I.writesPredicate() && I.Dst >= NumPredRegs)
+        Ok = false;
+      InstRegsOk[PC] = Ok;
+    }
+  }
+
+  /// Fills the identity fields of a trap raised by warp \p WarpIdx.
+  TrapInfo makeTrap(TrapKind Kind, int WarpIdx,
+                    const Instruction *I) const {
+    TrapInfo T;
+    T.Kind = Kind;
+    T.KernelName = K.Name;
+    T.Cycle = Now;
+    if (WarpIdx >= 0) {
+      const WarpContext &W = Warps[WarpIdx];
+      T.BlockId = Blocks[W.BlockSlot].BlockIdLinear;
+      T.WarpId = W.WarpInBlock;
+      T.LaneMask = W.ActiveMask;
+      T.PC = W.PC;
+      if (I)
+        T.InstText = I->toString();
+    }
+    return T;
+  }
+
+  /// Per-warp progress summary for launch-scoped traps (watchdog,
+  /// deadlock): which warps are stuck, where, and how much they ran.
+  std::string progressReport() const {
+    std::string S;
+    constexpr size_t MaxLines = 16;
+    for (size_t Idx = 0; Idx < Warps.size(); ++Idx) {
+      if (Idx == MaxLines) {
+        S += formatString("  ... %zu more warps\n", Warps.size() - Idx);
+        break;
+      }
+      const WarpContext &W = Warps[Idx];
+      const char *State = W.Done        ? "done"
+                          : W.AtBarrier ? "at barrier"
+                          : W.StallUntil > Now
+                              ? "stalled"
+                              : "eligible";
+      S += formatString(
+          "  block %d warp %d: %s, PC %d, %llu insts issued\n",
+          Blocks[W.BlockSlot].BlockIdLinear, W.WarpInBlock, State, W.PC,
+          static_cast<unsigned long long>(W.InstsIssued));
+    }
+    if (!S.empty())
+      S.pop_back(); // Trailing newline.
+    return S;
+  }
+
+  /// Identifies the least-progressed live warp (the likely culprit) so
+  /// launch-scoped traps still carry a concrete warp and PC.
+  int leastProgressedLiveWarp() const {
+    int Best = -1;
+    for (size_t Idx = 0; Idx < Warps.size(); ++Idx) {
+      if (Warps[Idx].Done)
+        continue;
+      if (Best < 0 || Warps[Idx].InstsIssued < Warps[Best].InstsIssued)
+        Best = static_cast<int>(Idx);
+    }
+    return Best;
+  }
+
+  void raiseWatchdogTrap() {
+    TrapInfo T = makeTrap(TrapKind::WatchdogTimeout,
+                          leastProgressedLiveWarp(), nullptr);
+    T.Detail = formatString(
+        "watchdog budget of %llu cycles exhausted with %d live warps:\n",
+        static_cast<unsigned long long>(Budget), LiveWarps);
+    T.Detail += progressReport();
+    Trap = std::move(T);
+  }
+
+  void raiseDeadlockTrap() {
+    TrapInfo T = makeTrap(TrapKind::Deadlock, leastProgressedLiveWarp(),
+                          nullptr);
+    T.Detail = formatString(
+        "no warp can make progress and none is in flight "
+        "(barrier mismatch?); %d live warps:\n",
+        LiveWarps);
+    T.Detail += progressReport();
+    Trap = std::move(T);
+  }
   /// The control field for the instruction at \p PC (zeros when the
   /// kernel carries no notations).
   ControlField fieldAt(int PC) const {
@@ -163,9 +281,26 @@ private:
     WarpContext &W = Warps[WarpIdx];
     if (W.Done || W.AtBarrier || W.StallUntil > Now)
       return false;
-    assert(W.PC >= 0 && static_cast<size_t>(W.PC) < K.Code.size() &&
-           "warp ran off the end of the kernel (missing EXIT?)");
+    if (W.PC < 0 || static_cast<size_t>(W.PC) >= K.Code.size()) {
+      // The warp ran off the code (bad branch target or missing EXIT).
+      TrapInfo T = makeTrap(TrapKind::InvalidPC, WarpIdx, nullptr);
+      T.Detail = formatString(
+          "PC %d outside the kernel's %zu instructions "
+          "(bad branch target or missing EXIT)",
+          W.PC, K.Code.size());
+      Trap = std::move(T);
+      return true; // Consumed the slot; the run loop stops on Trap.
+    }
     const Instruction &I = K.Code[W.PC];
+    if (!InstRegsOk[W.PC]) {
+      TrapInfo T = makeTrap(TrapKind::RegisterIndexOOB, WarpIdx, &I);
+      T.Detail = formatString(
+          "instruction references registers outside the %d allocated "
+          "(or a non-architectural predicate)",
+          std::max(K.RegsPerThread, 1));
+      Trap = std::move(T);
+      return true;
+    }
     if (!pipesFree(I, Sched))
       return false;
     if (!regsReady(W, I)) {
@@ -204,8 +339,11 @@ private:
     // --- Execute functionally ------------------------------------------------
     ExecEffects Fx = Exec.execute(I, W, B.BlockIdLinear, *B.Shared);
     if (Fx.faulted()) {
-      Fault = formatString("kernel %s, PC %d (%s): %s", K.Name.c_str(),
-                           W.PC, I.toString().c_str(), Fx.Fault.c_str());
+      TrapInfo T = makeTrap(Fx.Trap, WarpIdx, &I);
+      T.Address = Fx.TrapAddress;
+      T.Lane = Fx.TrapLane;
+      T.Detail = Fx.TrapDetail;
+      Trap = std::move(T);
       return;
     }
 
@@ -273,6 +411,7 @@ private:
 
     // --- Statistics ----------------------------------------------------------
     ++Stats.WarpInstsIssued;
+    ++W.InstsIssued;
     uint64_t Lanes = std::popcount(W.ActiveMask);
     Stats.ThreadInstsIssued += Lanes;
     Stats.ThreadInstsByOpcode[static_cast<size_t>(I.Op)] += Lanes;
@@ -305,7 +444,7 @@ private:
       int PCBefore = Warps[WarpIdx].PC;
       if (!tryIssue(WarpIdx, Sched, /*AllowReplayPenalty=*/true))
         continue;
-      if (!Fault.empty())
+      if (Trap)
         return Status::success();
       IssuedAny = true;
       RRNext[Sched] = Idx + 1;
@@ -335,7 +474,12 @@ private:
       if (W.Done || W.AtBarrier)
         continue;
       uint64_t T = W.StallUntil;
-      T = std::max(T, regsReadyCycle(W, K.Code[W.PC]));
+      // Warps sitting on an invalid PC or an invalid-register
+      // instruction are immediately eligible: they trap at issue.
+      bool PCValid =
+          W.PC >= 0 && static_cast<size_t>(W.PC) < K.Code.size();
+      if (PCValid && InstRegsOk[W.PC])
+        T = std::max(T, regsReadyCycle(W, K.Code[W.PC]));
       // Pipes may also be the blocker.
       double PipeFloor = std::min(
           {IssuePipeFree, MathPipeFree, LdstPipeFree,
@@ -350,6 +494,7 @@ private:
   const Kernel &K;
   Executor &Exec;
   const LaunchDims &Dims;
+  const uint64_t Budget;
 
   std::vector<BlockState> Blocks;
   std::vector<WarpContext> Warps;
@@ -366,15 +511,17 @@ private:
   std::vector<int> RRNext;
 
   SimStats Stats;
-  std::string Fault;
+  std::optional<TrapInfo> Trap;
+  /// Per-instruction precomputed register/predicate validity.
+  std::vector<uint8_t> InstRegsOk;
 };
 
 } // namespace
 
-Expected<SimStats> gpuperf::simulateWave(const MachineDesc &M,
-                                         const Kernel &K, Executor &Exec,
-                                         const LaunchDims &Dims,
-                                         const std::vector<int> &BlockIds) {
-  SMSim Sim(M, K, Exec, Dims, BlockIds);
-  return Sim.run();
+Expected<SimStats> gpuperf::simulateWave(
+    const MachineDesc &M, const Kernel &K, Executor &Exec,
+    const LaunchDims &Dims, const std::vector<int> &BlockIds,
+    uint64_t WatchdogCycles, TrapInfo *TrapOut) {
+  SMSim Sim(M, K, Exec, Dims, BlockIds, WatchdogCycles);
+  return Sim.run(TrapOut);
 }

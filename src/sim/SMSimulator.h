@@ -23,19 +23,31 @@
 #include "isa/Module.h"
 #include "sim/Executor.h"
 #include "sim/Stats.h"
+#include "sim/Trap.h"
 #include "support/Error.h"
 
 #include <vector>
 
 namespace gpuperf {
 
+/// Absolute backstop on simulated cycles per wave: even with no (or an
+/// absurd) watchdog budget configured, a broken kernel cannot hang the
+/// host process.
+inline constexpr uint64_t MaxWaveCycles = 1ull << 33;
+
 /// Simulates one wave: the blocks in \p BlockIds resident together on one
 /// SM from cycle 0 until all exit. Functional effects land in the
-/// executor's global memory. Returns per-wave statistics or a fault
-/// (runtime error in the kernel, deadlock, cycle-limit overflow).
+/// executor's global memory. Returns per-wave statistics, or fails with a
+/// structured trap (runtime fault in the kernel, watchdog expiry,
+/// deadlock): the failure message is TrapInfo::toString() and, when
+/// \p TrapOut is non-null, *TrapOut receives the full structured record.
+/// \p WatchdogCycles bounds the wave's simulated cycles (0 applies only
+/// the MaxWaveCycles backstop).
 Expected<SimStats> simulateWave(const MachineDesc &M, const Kernel &K,
                                 Executor &Exec, const LaunchDims &Dims,
-                                const std::vector<int> &BlockIds);
+                                const std::vector<int> &BlockIds,
+                                uint64_t WatchdogCycles = 0,
+                                TrapInfo *TrapOut = nullptr);
 
 } // namespace gpuperf
 

@@ -1,0 +1,86 @@
+//===- sim/Trap.cpp - structured runtime fault reporting ------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Trap.h"
+
+#include "support/Format.h"
+
+using namespace gpuperf;
+
+const char *gpuperf::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::None:
+    return "NONE";
+  case TrapKind::GlobalLoadOOB:
+    return "GLOBAL_LOAD_OOB";
+  case TrapKind::GlobalStoreOOB:
+    return "GLOBAL_STORE_OOB";
+  case TrapKind::SharedLoadOOB:
+    return "SHARED_LOAD_OOB";
+  case TrapKind::SharedStoreOOB:
+    return "SHARED_STORE_OOB";
+  case TrapKind::MisalignedAccess:
+    return "MISALIGNED_ACCESS";
+  case TrapKind::InvalidPC:
+    return "INVALID_PC";
+  case TrapKind::RegisterIndexOOB:
+    return "REGISTER_INDEX_OOB";
+  case TrapKind::InvalidConstOffset:
+    return "INVALID_CONST_OFFSET";
+  case TrapKind::DivergentBranch:
+    return "DIVERGENT_BRANCH";
+  case TrapKind::UnimplementedOpcode:
+    return "UNIMPLEMENTED_OPCODE";
+  case TrapKind::WatchdogTimeout:
+    return "WATCHDOG_TIMEOUT";
+  case TrapKind::Deadlock:
+    return "DEADLOCK";
+  }
+  return "UNKNOWN";
+}
+
+bool gpuperf::trapIsInstructionScoped(TrapKind K) {
+  switch (K) {
+  case TrapKind::None:
+  case TrapKind::WatchdogTimeout:
+  case TrapKind::Deadlock:
+  // The PC of an InvalidPC trap is the out-of-range target itself; no
+  // instruction exists there to report.
+  case TrapKind::InvalidPC:
+    return false;
+  default:
+    return true;
+  }
+}
+
+std::string TrapInfo::toString() const {
+  if (!valid())
+    return "no trap";
+  std::string S = formatString("trap %s in kernel '%s'", trapKindName(Kind),
+                               KernelName.c_str());
+  if (BlockId >= 0)
+    S += formatString(", block %d", BlockId);
+  if (WarpId >= 0)
+    S += formatString(", warp %d", WarpId);
+  if (PC >= 0 || Kind == TrapKind::InvalidPC)
+    S += formatString(", PC %d", PC);
+  if (!InstText.empty())
+    S += formatString(": %s", InstText.c_str());
+  S += formatString(" (cycle %llu", static_cast<unsigned long long>(Cycle));
+  if (LaneMask != 0)
+    S += formatString(", lanes 0x%08x", LaneMask);
+  if (Lane >= 0)
+    S += formatString(", lane %d", Lane);
+  if (trapIsInstructionScoped(Kind) && Kind != TrapKind::DivergentBranch &&
+      Kind != TrapKind::UnimplementedOpcode &&
+      Kind != TrapKind::RegisterIndexOOB)
+    S += formatString(", address 0x%llx",
+                      static_cast<unsigned long long>(Address));
+  S += ")";
+  if (!Detail.empty())
+    S += "\n" + Detail;
+  return S;
+}

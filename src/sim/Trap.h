@@ -1,0 +1,75 @@
+//===- sim/Trap.h - structured runtime fault reporting ----------*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulator's trap model. Any hostile condition inside a running
+/// kernel -- out-of-bounds memory accesses, invalid branch targets,
+/// register indices past the allocated file, watchdog expiry, barrier
+/// deadlock -- halts the offending warp and fails the launch with a
+/// structured TrapInfo instead of crashing the host process. This is the
+/// analogue of the fault/launch-error reporting real GPUs provide, and it
+/// is what lets the fault-injection harness drive the simulator with
+/// arbitrarily mutated binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SIM_TRAP_H
+#define GPUPERF_SIM_TRAP_H
+
+#include <cstdint>
+#include <string>
+
+namespace gpuperf {
+
+/// What went wrong. One kind per architectural failure mode so harnesses
+/// can assert on the exact trap class.
+enum class TrapKind {
+  None = 0,            ///< No trap (sentinel).
+  GlobalLoadOOB,       ///< LD from outside the global allocation.
+  GlobalStoreOOB,      ///< ST to outside the global allocation.
+  SharedLoadOOB,       ///< LDS from outside the block's shared memory.
+  SharedStoreOOB,      ///< STS to outside the block's shared memory.
+  MisalignedAccess,    ///< Address not a multiple of the access width.
+  InvalidPC,           ///< PC outside the code (bad branch/missing EXIT).
+  RegisterIndexOOB,    ///< Register or predicate index past the file.
+  InvalidConstOffset,  ///< LDC beyond the parameter words.
+  DivergentBranch,     ///< Non-uniform BRA (unsupported by design).
+  UnimplementedOpcode, ///< Decoded but not executable.
+  WatchdogTimeout,     ///< Per-launch cycle budget exhausted.
+  Deadlock,            ///< No warp eligible and none in flight.
+};
+
+/// Printable upper-case name, e.g. "WATCHDOG_TIMEOUT".
+const char *trapKindName(TrapKind K);
+
+/// True for kinds raised while executing one particular instruction (as
+/// opposed to launch-scoped conditions like watchdog expiry).
+bool trapIsInstructionScoped(TrapKind K);
+
+/// Everything known about one trap. Produced by the SM simulator, carried
+/// to the launcher and the tools; toString() is the canonical diagnostic.
+struct TrapInfo {
+  TrapKind Kind = TrapKind::None;
+  std::string KernelName;
+  int BlockId = -1;      ///< Linearized ctaid of the trapping warp.
+  int WarpId = -1;       ///< Warp index within its block.
+  uint32_t LaneMask = 0; ///< Active lanes when the trap was raised.
+  int Lane = -1;         ///< First faulting lane (memory traps); -1 else.
+  int PC = -1;           ///< Instruction index; -1 for launch-scoped traps.
+  std::string InstText;  ///< Disassembly of the trapping instruction.
+  uint64_t Cycle = 0;    ///< Simulation cycle at which the trap fired.
+  uint64_t Address = 0;  ///< Faulting address (memory traps only).
+  std::string Detail;    ///< Free-form context (per-warp progress, ...).
+
+  bool valid() const { return Kind != TrapKind::None; }
+
+  /// One-line (plus optional detail lines) human-readable report.
+  std::string toString() const;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SIM_TRAP_H

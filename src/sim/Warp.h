@@ -46,6 +46,8 @@ struct WarpContext {
   bool NoPenaltyWait = false;
   /// Round-robin ranking aid: cycle of last issue.
   uint64_t LastIssue = 0;
+  /// Instructions issued by this warp (watchdog progress reporting).
+  uint64_t InstsIssued = 0;
 
   void reset(int NumRegs) {
     PC = 0;
@@ -58,25 +60,46 @@ struct WarpContext {
     StallUntil = 0;
     NoPenaltyWait = false;
     LastIssue = 0;
+    InstsIssued = 0;
   }
 
+  /// Number of allocated architectural registers for this warp.
+  int numRegs() const { return static_cast<int>(Regs.size() / WarpSize); }
+
+  /// Register accessors are total: indices past the allocated file (the
+  /// scheduler traps those instructions before they execute) read zero
+  /// and drop writes instead of running off the vector in NDEBUG builds.
   uint32_t readReg(uint8_t Reg, int Lane) const {
     if (Reg == RegRZ)
       return 0;
-    return Regs[static_cast<size_t>(Reg) * WarpSize + Lane];
+    size_t Idx = static_cast<size_t>(Reg) * WarpSize + Lane;
+    if (Idx >= Regs.size())
+      return 0;
+    return Regs[Idx];
   }
   void writeReg(uint8_t Reg, int Lane, uint32_t Value) {
     if (Reg == RegRZ)
       return;
-    Regs[static_cast<size_t>(Reg) * WarpSize + Lane] = Value;
+    size_t Idx = static_cast<size_t>(Reg) * WarpSize + Lane;
+    if (Idx >= Regs.size())
+      return;
+    Regs[Idx] = Value;
   }
+  /// Predicate accessors are total: the encoding has 3-bit guard fields,
+  /// so P4..P6 are representable but not architectural. The simulator
+  /// traps such instructions before execution; these guards keep even a
+  /// missed path safe in NDEBUG builds (reads false, writes dropped).
   bool readPred(uint8_t Pred, int Lane) const {
     if (Pred == PredPT)
       return true;
+    if (Pred >= NumPredRegs)
+      return false;
     return (Preds[Pred] >> Lane) & 1;
   }
   void writePred(uint8_t Pred, int Lane, bool Value) {
     assert(Pred < NumPredRegs && "write to invalid predicate");
+    if (Pred >= NumPredRegs)
+      return;
     if (Value)
       Preds[Pred] |= 1u << Lane;
     else

@@ -104,6 +104,26 @@ public:
     return Status::error(Message);
   }
 
+  /// Moves the failure message out; only valid on failure. Useful when
+  /// re-wrapping an error into an Expected of a different type without
+  /// copying the string.
+  std::string takeError() {
+    assert(!Value && "takeError on success");
+    return std::move(Message);
+  }
+
+  /// Applies \p F to the contained value, yielding Expected<U> where U
+  /// is F's result type; failures pass through unchanged. Rvalue-only:
+  /// the value (or message) is moved into the result, so this works for
+  /// move-only payloads, e.g.
+  ///   auto N = parse(Text).map([](Module M) { return M.Kernels.size(); });
+  template <typename Fn> auto map(Fn &&F) && {
+    using U = decltype(F(std::move(*Value)));
+    if (!Value)
+      return Expected<U>::error(std::move(Message));
+    return Expected<U>(F(std::move(*Value)));
+  }
+
 private:
   Expected() = default;
   std::optional<T> Value;

@@ -1,0 +1,229 @@
+//===- tests/FaultInjectionTest.cpp - mutated-kernel execution fuzz -------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives mutants of a real SGEMM kernel through the full timing
+/// simulator and enforces the guarded-execution contract: every mutant
+/// either completes, is rejected by the loader/launcher, or raises a
+/// structured trap -- the process never crashes and identical mutants
+/// behave identically (same outcome, same trap at the same PC and
+/// cycle, same memory image).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernelgen/Baselines.h"
+#include "kernelgen/SgemmGenerator.h"
+#include "sim/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+using namespace gpuperf;
+
+namespace {
+
+constexpr FaultKind AllKinds[] = {
+    FaultKind::CodeBitFlip, FaultKind::HeaderBitFlip,
+    FaultKind::BranchRetarget, FaultKind::SharedShrink,
+    FaultKind::AddressScramble};
+
+/// Fixture building the mutation target: the paper's hand-tuned NN
+/// kernel for a 192x192x64 problem on GTX580, with the launch shape and
+/// parameter addresses laid out exactly as SgemmRunner would.
+class FaultInjection : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const MachineDesc &M = gtx580();
+    SgemmKernelConfig Cfg = baselineConfig(SgemmImpl::AsmTuned, M,
+                                           GemmVariant::NN, 192, 192, 64);
+    auto K = generateSgemmKernel(M, Cfg);
+    ASSERT_TRUE(K.hasValue()) << K.message();
+
+    Module Mod;
+    Mod.Arch = GpuGeneration::Fermi;
+    Mod.Kernels.push_back(K.take());
+
+    // Mirror the runner's upload order so parameter addresses match the
+    // bump allocator (base 256, 256-byte alignment).
+    GlobalMemory Layout(0);
+    auto AAddr = Layout.tryAllocate(size_t(192) * 64 * 4);
+    auto BAddr = Layout.tryAllocate(size_t(64) * 192 * 4);
+    auto CAddr = Layout.tryAllocate(size_t(192) * 192 * 4);
+    ASSERT_TRUE(AAddr.hasValue() && BAddr.hasValue() && CAddr.hasValue());
+
+    SgemmLaunchShape Shape = sgemmLaunchShape(Cfg);
+    LaunchConfig Launch;
+    Launch.Dims.GridX = Shape.GridX;
+    Launch.Dims.GridY = Shape.GridY;
+    Launch.Dims.BlockX = Shape.BlockX;
+    Launch.Params = {*AAddr, *BAddr, *CAddr, 0x3f800000u /*alpha=1*/,
+                     0u /*beta=0*/};
+    Launch.Mode = SimMode::Full;
+
+    FI.emplace(M, std::move(Mod), Launch, Layout.size());
+  }
+
+  /// Contract checks every trapped run must satisfy.
+  static void checkTrap(const InjectionRun &Run, const char *Context) {
+    ASSERT_TRUE(Run.Trap.has_value()) << Context;
+    const TrapInfo &T = *Run.Trap;
+    EXPECT_TRUE(T.valid()) << Context;
+    EXPECT_FALSE(T.KernelName.empty()) << Context;
+    EXPECT_GE(T.WarpId, 0) << Context;
+    // An InvalidPC trap reports the out-of-range target itself, which
+    // may be negative; every other trap points at a real instruction.
+    if (T.Kind != TrapKind::InvalidPC) {
+      EXPECT_GE(T.PC, 0) << Context;
+    }
+    if (trapIsInstructionScoped(T.Kind)) {
+      EXPECT_FALSE(T.InstText.empty()) << Context;
+    }
+  }
+
+  std::optional<FaultInjector> FI;
+};
+
+} // namespace
+
+TEST_F(FaultInjection, BaselineCompletesDeterministically) {
+  InjectionRun A = FI->runBaseline();
+  ASSERT_EQ(A.Result, InjectionRun::Outcome::Completed)
+      << A.signature();
+  EXPECT_GT(A.Cycles, 0u);
+  InjectionRun B = FI->runBaseline();
+  EXPECT_EQ(A.signature(), B.signature());
+}
+
+TEST_F(FaultInjection, FiveHundredMutantsNeverCrash) {
+  int Completed = 0, Rejected = 0, Trapped = 0, Total = 0;
+  for (FaultKind Kind : AllKinds) {
+    for (uint64_t Seed = 0; Seed < 110; ++Seed) {
+      FaultPlan Plan;
+      Plan.Kind = Kind;
+      Plan.Seed = Seed;
+      Plan.NumMutations = 1 + static_cast<int>(Seed % 3);
+      InjectionRun Run = FI->runOne(Plan);
+      ++Total;
+      std::string Context =
+          std::string(faultKindName(Kind)) + " seed " +
+          std::to_string(Seed) + ": " + Run.signature();
+      switch (Run.Result) {
+      case InjectionRun::Outcome::Completed:
+        ++Completed;
+        break;
+      case InjectionRun::Outcome::Rejected:
+        ++Rejected;
+        EXPECT_FALSE(Run.RejectReason.empty()) << Context;
+        break;
+      case InjectionRun::Outcome::Trapped:
+        ++Trapped;
+        checkTrap(Run, Context.c_str());
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(Total, 550);
+  EXPECT_EQ(Completed + Rejected + Trapped, Total);
+  // The mutation families are hostile enough that all three outcomes
+  // must show up in a batch this size (seeded, so this is stable).
+  EXPECT_GT(Trapped, 0);
+  EXPECT_GT(Rejected, 0);
+  EXPECT_GT(Completed, 0);
+}
+
+TEST_F(FaultInjection, MutantRunsAreDeterministic) {
+  for (FaultKind Kind : AllKinds) {
+    for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+      FaultPlan Plan;
+      Plan.Kind = Kind;
+      Plan.Seed = Seed;
+      InjectionRun A = FI->runOne(Plan);
+      InjectionRun B = FI->runOne(Plan);
+      EXPECT_EQ(A.signature(), B.signature())
+          << faultKindName(Kind) << " seed " << Seed;
+      if (A.Result == InjectionRun::Outcome::Trapped &&
+          B.Result == InjectionRun::Outcome::Trapped) {
+        // Same mutant => same trap kind at the same PC and cycle.
+        EXPECT_EQ(A.Trap->Kind, B.Trap->Kind);
+        EXPECT_EQ(A.Trap->PC, B.Trap->PC);
+        EXPECT_EQ(A.Trap->Cycle, B.Trap->Cycle);
+        EXPECT_EQ(A.Trap->WarpId, B.Trap->WarpId);
+      }
+    }
+  }
+}
+
+TEST_F(FaultInjection, BranchRetargetsTrapWithStructuredDiagnostics) {
+  int Trapped = 0;
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    FaultPlan Plan;
+    Plan.Kind = FaultKind::BranchRetarget;
+    Plan.Seed = Seed;
+    InjectionRun Run = FI->runOne(Plan);
+    if (Run.Result != InjectionRun::Outcome::Trapped)
+      continue;
+    ++Trapped;
+    checkTrap(Run, ("retarget seed " + std::to_string(Seed)).c_str());
+  }
+  // Rewriting branch targets of a loopy kernel must catch *something*:
+  // invalid PCs, runaway loops, or skipped-initialization faults.
+  EXPECT_GT(Trapped, 0);
+}
+
+TEST_F(FaultInjection, SharedShrinkRaisesSharedOOBTraps) {
+  int SharedOOB = 0;
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    FaultPlan Plan;
+    Plan.Kind = FaultKind::SharedShrink;
+    Plan.Seed = Seed;
+    InjectionRun Run = FI->runOne(Plan);
+    // A shrunk-but-well-formed module always deserializes; it either
+    // completes (tiny shrink) or traps -- never a loader rejection.
+    EXPECT_NE(Run.Result, InjectionRun::Outcome::Rejected)
+        << Run.signature();
+    if (Run.Result == InjectionRun::Outcome::Trapped &&
+        (Run.Trap->Kind == TrapKind::SharedLoadOOB ||
+         Run.Trap->Kind == TrapKind::SharedStoreOOB)) {
+      ++SharedOOB;
+      EXPECT_FALSE(Run.Trap->Detail.empty());
+    }
+  }
+  EXPECT_GT(SharedOOB, 0);
+}
+
+TEST(Watchdog, InfiniteLoopTrapsInsteadOfHanging) {
+  Kernel K;
+  K.Name = "spin_forever";
+  K.Code = {makeMOV32I(0, 0), makeBRA(-2), makeEXIT()};
+  K.recomputeRegUsage();
+
+  LaunchConfig Config;
+  Config.Dims.GridX = 1;
+  Config.Dims.BlockX = 64;
+  Config.WatchdogCycles = 5000;
+
+  GlobalMemory GM;
+  TrapInfo Trap;
+  auto R = launchKernel(gtx580(), K, Config, GM, &Trap);
+  ASSERT_FALSE(R.hasValue());
+  ASSERT_TRUE(Trap.valid());
+  EXPECT_EQ(Trap.Kind, TrapKind::WatchdogTimeout);
+  EXPECT_EQ(Trap.KernelName, "spin_forever");
+  EXPECT_GE(Trap.Cycle, 5000u);
+  EXPECT_GE(Trap.WarpId, 0);
+  EXPECT_GE(Trap.PC, 0);
+  // The diagnostic includes the per-warp progress report.
+  EXPECT_NE(Trap.Detail.find("warp"), std::string::npos);
+}
+
+TEST(Watchdog, DerivedBudgetIsClampedToBackstop) {
+  EXPECT_LT(deriveWatchdogBudget(10, 4), MaxWaveCycles);
+  EXPECT_EQ(deriveWatchdogBudget(size_t(1) << 30, 1 << 20),
+            MaxWaveCycles);
+  // Never zero, even for degenerate inputs.
+  EXPECT_GT(deriveWatchdogBudget(0, 0), 0u);
+}

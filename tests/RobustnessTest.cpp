@@ -127,6 +127,101 @@ TEST(Fuzz, AssemblerHandlesMutatedSource) {
   }
 }
 
+namespace {
+
+/// A small kernel exercising every trap-relevant path: tid math, global
+/// loads/stores, shared stores/loads, a barrier and a counted loop.
+Kernel makeLoopyMemoryKernel() {
+  Kernel K;
+  K.Name = "loopy";
+  K.SharedBytes = 1024;
+  K.Code = {
+      makeS2R(0, SpecialReg::TID_X),       // R0 = tid
+      makeSHLImm(1, 0, 2),                 // R1 = tid * 4
+      makeMOV32I(2, 256),                  // R2 = global base
+      makeIADD(2, 2, 1),                   // R2 = base + tid*4
+      makeMOV32I(5, 0),                    // R5 = loop counter
+      makeMOV32I(6, 4),                    // R6 = trip count
+      // loop:
+      makeLD(MemWidth::B32, 3, 2, 0),      // R3 = global[R2]
+      makeSTS(MemWidth::B32, 1, 0, 3),     // shared[R1] = R3
+      makeBAR(),
+      makeLDS(MemWidth::B32, 4, 1, 0),     // R4 = shared[R1]
+      makeST(MemWidth::B32, 2, 0x100, 4),  // global[R2+0x100] = R4
+      makeIADDImm(5, 5, 1),                // ++R5
+      makeISETP(CmpOp::LT, 0, 5, 6),       // P0 = R5 < R6
+      makeBRA(-8, 0, false),               // @P0 back to loop
+      makeEXIT(),
+  };
+  K.recomputeRegUsage();
+  return K;
+}
+
+} // namespace
+
+TEST(Fuzz, BitFlippedKernelsExecuteWithoutCrashing) {
+  Module M;
+  M.Arch = GpuGeneration::Fermi;
+  M.Kernels.push_back(makeLoopyMemoryKernel());
+  std::vector<uint8_t> Bytes = M.serialize();
+
+  LaunchConfig Config;
+  Config.Dims.GridX = 2;
+  Config.Dims.BlockX = 64;
+  Config.WatchdogCycles = 1 << 16;
+
+  enum { LoaderReject, LaunchReject, Completed, Trapped };
+  auto RunMutant = [&](const std::vector<uint8_t> &Mutated,
+                       TrapInfo &Trap) {
+    auto Mod = Module::deserialize(Mutated);
+    if (!Mod.hasValue() || Mod->Kernels.empty())
+      return +LoaderReject; // Nothing to execute.
+    GlobalMemory GM(1 << 16);
+    auto R = launchKernel(gtx580(), Mod->Kernels[0], Config, GM, &Trap);
+    if (R.hasValue())
+      return +Completed;
+    // A failed launch is either a structured runtime trap or an
+    // unlaunchable-configuration rejection with a diagnostic.
+    if (!Trap.valid()) {
+      EXPECT_FALSE(R.message().empty());
+      return +LaunchReject;
+    }
+    return +Trapped;
+  };
+
+  Rng R(2013);
+  int Executed = 0, TrappedRuns = 0;
+  for (int Trial = 0; Trial < 600; ++Trial) {
+    std::vector<uint8_t> Mutated = Bytes;
+    for (int Flip = 0, N = 1 + static_cast<int>(R.nextBelow(2)); Flip < N;
+         ++Flip) {
+      size_t Byte = R.nextBelow(Mutated.size());
+      Mutated[Byte] ^= static_cast<uint8_t>(1u << R.nextBelow(8));
+    }
+    TrapInfo Trap;
+    int Outcome = RunMutant(Mutated, Trap);
+    if (Outcome == LoaderReject)
+      continue;
+    ++Executed;
+    if (Outcome != Trapped)
+      continue;
+    ++TrappedRuns;
+    // Every trap must be fully populated...
+    EXPECT_FALSE(Trap.KernelName.empty());
+    EXPECT_GE(Trap.WarpId, 0);
+    // ...and the same mutant must trap identically on a re-run.
+    TrapInfo Again;
+    ASSERT_EQ(RunMutant(Mutated, Again), Trapped);
+    EXPECT_EQ(Again.Kind, Trap.Kind);
+    EXPECT_EQ(Again.PC, Trap.PC);
+    EXPECT_EQ(Again.Cycle, Trap.Cycle);
+    EXPECT_EQ(Again.WarpId, Trap.WarpId);
+  }
+  // The seeded batch must actually exercise execution and trapping.
+  EXPECT_GT(Executed, 100);
+  EXPECT_GT(TrappedRuns, 10);
+}
+
 TEST(Determinism, RepeatedLaunchesAgreeExactly) {
   SgemmProblem P;
   P.M = P.N = 192;

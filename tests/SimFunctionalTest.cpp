@@ -348,7 +348,7 @@ TEST(SimFaults, SharedOutOfBounds) {
                    "  MOV32I R0, 4096\n  LDS R1, [R0]\n  EXIT\n",
                    LaunchDims{1, 1, 32, 1}, {}, GM, 64);
   ASSERT_FALSE(R.hasValue());
-  EXPECT_NE(R.message().find("out of bounds"), std::string::npos);
+  EXPECT_NE(R.message().find("SHARED_LOAD_OOB"), std::string::npos);
 }
 
 TEST(SimFaults, MisalignedWideAccess) {
@@ -357,7 +357,7 @@ TEST(SimFaults, MisalignedWideAccess) {
                    "  MOV32I R0, 4\n  LDS.64 R2, [R0]\n  EXIT\n",
                    LaunchDims{1, 1, 32, 1}, {}, GM, 64);
   ASSERT_FALSE(R.hasValue());
-  EXPECT_NE(R.message().find("misaligned"), std::string::npos);
+  EXPECT_NE(R.message().find("MISALIGNED_ACCESS"), std::string::npos);
 }
 
 TEST(SimFaults, LdcBeyondParams) {

@@ -43,6 +43,10 @@ void interpret(const Instruction &I, uint32_t *Regs) {
   auto WriteF = [&](float V) {
     uint32_t U;
     std::memcpy(&U, &V, 4);
+    // Canonical NaN, matching the executor; payload propagation is
+    // operand-order-dependent on the host CPU and so not reproducible.
+    if (std::isnan(V))
+      U = 0x7fffffffu;
     Regs[I.Dst] = U;
   };
   uint32_t B = I.immReplacesSrc1() ? static_cast<uint32_t>(I.Imm)

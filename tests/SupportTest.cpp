@@ -64,6 +64,45 @@ TEST(Error, ExpectedMoveOnlyType) {
   EXPECT_EQ(*P, 5);
 }
 
+TEST(Error, ExpectedTakeErrorMovesMessage) {
+  auto E = Expected<int>::error("lengthy diagnostic text");
+  std::string Msg = E.takeError();
+  EXPECT_EQ(Msg, "lengthy diagnostic text");
+}
+
+TEST(Error, ExpectedMapTransformsValue) {
+  auto Doubled = Expected<int>(21).map([](int V) { return V * 2; });
+  ASSERT_TRUE(Doubled.hasValue());
+  EXPECT_EQ(*Doubled, 42);
+
+  // The callback can change the payload type.
+  auto Text =
+      Expected<int>(7).map([](int V) { return std::to_string(V); });
+  ASSERT_TRUE(Text.hasValue());
+  EXPECT_EQ(*Text, "7");
+}
+
+TEST(Error, ExpectedMapPropagatesError) {
+  auto E = Expected<int>::error("upstream parse failure")
+               .map([](int V) { return V + 1; });
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.message(), "upstream parse failure");
+}
+
+TEST(Error, ExpectedMapMoveOnlyPayload) {
+  // map() must move the payload through the callback, not copy it.
+  auto E = Expected<std::unique_ptr<int>>(std::make_unique<int>(9))
+               .map([](std::unique_ptr<int> P) { return *P + 1; });
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ(*E, 10);
+
+  // ...and may also *produce* a move-only payload.
+  auto P = Expected<int>(3)
+               .map([](int V) { return std::make_unique<int>(V); })
+               .take();
+  EXPECT_EQ(*P, 3);
+}
+
 TEST(MathUtils, DivideCeil) {
   EXPECT_EQ(divideCeil(0, 4), 0u);
   EXPECT_EQ(divideCeil(1, 4), 1u);

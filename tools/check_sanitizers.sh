@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Configure, build and run the whole test suite under AddressSanitizer
+# and UndefinedBehaviorSanitizer. The guarded-execution contract ("any
+# input runs, is rejected, or traps -- never crashes") is only as strong
+# as the memory-safety checking behind it, so the fuzz and
+# fault-injection suites should be exercised under sanitizers whenever
+# the executor, simulator or decoders change.
+#
+# Usage: tools/check_sanitizers.sh [build-dir] [ctest args...]
+#   build-dir defaults to <repo>/build-sanitize.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-sanitize}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+cmake -S "$ROOT" -B "$BUILD" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGPUPERF_SANITIZE=ON
+cmake --build "$BUILD" -j"$(nproc)"
+
+# halt_on_error: treat any sanitizer report as a hard failure.
+ASAN_OPTIONS=halt_on_error=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ctest --test-dir "$BUILD" --output-on-failure "$@"

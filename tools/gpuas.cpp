@@ -25,7 +25,12 @@ using namespace gpuperf;
 static int usage() {
   std::fprintf(stderr,
                "usage: gpuas input.asm [-o out.gpub] "
-               "[--notation none|heuristic|tuned]\n");
+               "[--notation none|heuristic|tuned]\n"
+               "\n"
+               "  --notation  rewrite the Kepler scheduling control words\n"
+               "              with the chosen quality before writing\n"
+               "\n"
+               "exit codes: 0 ok, 1 assembly/write error, 2 usage\n");
   return 2;
 }
 
@@ -47,6 +52,13 @@ int main(int Argc, char **Argv) {
   }
   if (!Input)
     return usage();
+  if (Notation && std::strcmp(Notation, "none") != 0 &&
+      std::strcmp(Notation, "heuristic") != 0 &&
+      std::strcmp(Notation, "tuned") != 0) {
+    std::fprintf(stderr, "gpuas: unknown --notation quality '%s'\n",
+                 Notation);
+    return usage();
+  }
   if (Output.empty()) {
     Output = Input;
     size_t Dot = Output.rfind('.');
@@ -68,10 +80,16 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "gpuas: %s: %s\n", Input, M.message().c_str());
     return 1;
   }
-  if (Notation && M->Arch == GpuGeneration::Kepler) {
-    NotationQuality Q = parseNotationQuality(Notation);
-    for (Kernel &K : M->Kernels)
-      tuneNotations(gtx680(), K, Q);
+  if (Notation) {
+    if (M->Arch == GpuGeneration::Kepler) {
+      NotationQuality Q = parseNotationQuality(Notation);
+      for (Kernel &K : M->Kernels)
+        tuneNotations(gtx680(), K, Q);
+    } else {
+      std::fprintf(stderr,
+                   "gpuas: warning: --notation ignored for non-Kepler "
+                   "module\n");
+    }
   }
   if (Status S = M->writeToFile(Output); S.failed()) {
     std::fprintf(stderr, "gpuas: %s\n", S.message().c_str());

@@ -8,10 +8,14 @@
 //
 //   gpurun module.gpub [kernel] [--machine GTX580|GTX680]
 //          [--grid X[,Y]] [--block N] [--param word]... [--mem bytes]
+//          [--watchdog cycles]
 //
 // Parameters are 32-bit words loaded into the constant bank (LDC);
 // --mem reserves a global allocation whose base address is appended as
 // the *first* parameter when present.
+//
+// Exit codes: 0 success, 1 load/launch error, 2 usage, 3 runtime trap
+// (the structured diagnostic goes to stderr).
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,7 +33,13 @@ static int usage() {
       stderr,
       "usage: gpurun module.gpub [kernel] [--machine GTX580|GTX680]\n"
       "              [--grid X[,Y]] [--block N] [--param word]...\n"
-      "              [--mem bytes]\n");
+      "              [--mem bytes] [--watchdog cycles]\n"
+      "\n"
+      "  --watchdog cycles   per-wave cycle budget before the launch\n"
+      "                      fails with a WATCHDOG_TIMEOUT trap\n"
+      "                      (default: derived from code size and warps)\n"
+      "\n"
+      "exit codes: 0 ok, 1 load/launch error, 2 usage, 3 runtime trap\n");
   return 2;
 }
 
@@ -61,6 +71,13 @@ int main(int Argc, char **Argv) {
           static_cast<uint32_t>(std::strtoul(Argv[++I], nullptr, 0)));
     } else if (std::strcmp(Argv[I], "--mem") == 0 && I + 1 < Argc) {
       MemBytes = static_cast<size_t>(std::strtoull(Argv[++I], nullptr, 0));
+    } else if (std::strcmp(Argv[I], "--watchdog") == 0 && I + 1 < Argc) {
+      char *End = nullptr;
+      Config.WatchdogCycles = std::strtoull(Argv[++I], &End, 0);
+      if (End == Argv[I] || *End != '\0') {
+        std::fprintf(stderr, "gpurun: --watchdog expects a cycle count\n");
+        return 2;
+      }
     } else if (Argv[I][0] == '-') {
       return usage();
     } else if (!Input) {
@@ -92,11 +109,21 @@ int main(int Argc, char **Argv) {
 
   GlobalMemory GM;
   if (MemBytes) {
-    uint32_t Base = GM.allocate(MemBytes);
-    Config.Params.insert(Config.Params.begin(), Base);
+    auto Base = GM.tryAllocate(MemBytes);
+    if (!Base) {
+      std::fprintf(stderr, "gpurun: --mem %zu: %s\n", MemBytes,
+                   Base.message().c_str());
+      return 1;
+    }
+    Config.Params.insert(Config.Params.begin(), *Base);
   }
-  auto R = launchKernel(*M, *K, Config, GM);
+  TrapInfo Trap;
+  auto R = launchKernel(*M, *K, Config, GM, &Trap);
   if (!R) {
+    if (Trap.valid()) {
+      std::fprintf(stderr, "gpurun: %s\n", Trap.toString().c_str());
+      return 3;
+    }
     std::fprintf(stderr, "gpurun: %s\n", R.message().c_str());
     return 1;
   }
