@@ -3,15 +3,31 @@
 // Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared bench plumbing: section headers, the common command line
+/// (--jobs/--json/--cache/--no-cache), machine-readable run metrics, and
+/// a parallel sweep helper. Every figure/table bench constructs one
+/// BenchRun so the whole suite speaks the same flags and
+/// tools/run_benches.sh can collect uniform JSON.
+///
+//===----------------------------------------------------------------------===//
 
 #ifndef GPUPERF_BENCH_BENCHUTIL_H
 #define GPUPERF_BENCH_BENCHUTIL_H
 
+#include "sim/SMSimulator.h"
 #include "support/Format.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
+#include "ubench/PerfDatabase.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 namespace gpuperf {
 
@@ -23,6 +39,113 @@ inline void benchHeader(const std::string &Title) {
 
 inline void benchPrint(const std::string &Text) {
   std::fputs(Text.c_str(), stdout);
+}
+
+/// Per-bench run context: parses the shared flags, times the run, and on
+/// destruction emits a one-line JSON metrics record when --json was
+/// given. Construct exactly one at the top of main().
+///
+/// Flags:
+///   --jobs N     worker threads for sweeps/launches (0 = one per
+///                hardware thread, the default; 1 = fully serial)
+///   --json PATH  write {"bench","jobs","sim_cycles","wall_seconds",
+///                "sim_cycles_per_sec"} to PATH on exit
+///   --cache PATH persistent PerfDatabase file (default:
+///                PerfDatabase::defaultCachePath())
+///   --no-cache   in-memory PerfDatabase only; force remeasurement
+class BenchRun {
+public:
+  BenchRun(std::string BenchName, int Argc, char **Argv)
+      : Name(std::move(BenchName)),
+        CachePath(PerfDatabase::defaultCachePath()),
+        Start(std::chrono::steady_clock::now()),
+        StartCycles(totalSimulatedCycles()) {
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      auto needValue = [&]() -> const char * {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "%s: %s requires a value\n", Name.c_str(),
+                       Arg.c_str());
+          std::exit(2);
+        }
+        return Argv[++I];
+      };
+      if (Arg == "--jobs")
+        Jobs = std::atoi(needValue());
+      else if (Arg == "--json")
+        JsonPath = needValue();
+      else if (Arg == "--cache")
+        CachePath = needValue();
+      else if (Arg == "--no-cache")
+        CachePath.clear();
+      else {
+        std::fprintf(stderr,
+                     "%s: unknown option '%s'\n"
+                     "usage: %s [--jobs N] [--json PATH] [--cache PATH] "
+                     "[--no-cache]\n",
+                     Name.c_str(), Arg.c_str(), Name.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+  ~BenchRun() {
+    if (JsonPath.empty())
+      return;
+    double Wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    uint64_t Cycles = totalSimulatedCycles() - StartCycles;
+    FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", Name.c_str(),
+                   JsonPath.c_str());
+      return;
+    }
+    std::fprintf(F,
+                 "{\"bench\":\"%s\",\"jobs\":%d,\"sim_cycles\":%llu,"
+                 "\"wall_seconds\":%.3f,\"sim_cycles_per_sec\":%.0f}\n",
+                 Name.c_str(), resolveJobs(Jobs),
+                 static_cast<unsigned long long>(Cycles), Wall,
+                 Wall > 0 ? Cycles / Wall : 0.0);
+    std::fclose(F);
+  }
+
+  BenchRun(const BenchRun &) = delete;
+  BenchRun &operator=(const BenchRun &) = delete;
+
+  /// Raw --jobs value for LaunchConfig::Jobs / runSweep (0 = hardware).
+  int jobs() const { return Jobs; }
+
+  /// PerfDatabase cache path; empty means --no-cache (in-memory only).
+  const std::string &cachePath() const { return CachePath; }
+
+  /// The database benches should measure through: persistent unless the
+  /// user said --no-cache.
+  PerfDatabase makeDatabase(const MachineDesc &M) const {
+    return PerfDatabase(M, CachePath);
+  }
+
+private:
+  std::string Name;
+  std::string JsonPath;
+  std::string CachePath;
+  int Jobs = 0; ///< 0 = one worker per hardware thread.
+  std::chrono::steady_clock::time_point Start;
+  uint64_t StartCycles;
+};
+
+/// Evaluates \p Point(0..N-1) across up to \p Jobs threads and returns
+/// the results indexed by point -- output is identical for every Jobs
+/// value, so sweeps stay deterministic. \p Point must be safe to call
+/// concurrently (the simulator and PerfDatabase are; stdout printing is
+/// not, so format rows here and print after).
+template <typename Fn>
+auto runSweep(int Jobs, size_t N, Fn &&Point)
+    -> std::vector<decltype(Point(size_t(0)))> {
+  std::vector<decltype(Point(size_t(0)))> Results(N);
+  parallelFor(Jobs, N, [&](size_t I) { Results[I] = Point(I); });
+  return Results;
 }
 
 } // namespace gpuperf

@@ -37,7 +37,8 @@ SgemmKernelConfig tunedFor(const MachineDesc &M) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("ablation_optimizations", Argc, Argv);
   benchHeader("Ablation of the Section 5 optimizations (SGEMM NN 1536^3, "
               "GFLOPS)");
   for (const MachineDesc *MP : {&gtx580(), &gtx680()}) {

@@ -8,33 +8,41 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
-#include "ubench/MixBench.h"
 
 using namespace gpuperf;
 
-static void sweep(const MachineDesc &M) {
+static void sweep(const BenchRun &Run, const MachineDesc &M) {
   benchHeader(formatString("Figure 2 (%s): throughput mixing FFMA and "
                            "LDS.X, independent",
                            M.Name.c_str()));
-  Table T;
-  T.setHeader({"FFMA/LDS ratio", "LDS", "LDS.64", "LDS.128"});
-  for (int Ratio : {0, 1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32}) {
-    std::vector<std::string> Row = {formatString("%d", Ratio)};
+  PerfDatabase DB = Run.makeDatabase(M);
+  const std::vector<int> Ratios = {0, 1,  2,  3,  4,  6,  8,
+                                   10, 12, 16, 20, 24, 28, 32};
+  // One sweep point per ratio; the three widths inside a point share its
+  // thread. Rows come back in ratio order whatever the job count.
+  auto Rows = runSweep(Run.jobs(), Ratios.size(), [&](size_t I) {
+    std::vector<std::string> Row = {formatString("%d", Ratios[I])};
     for (MemWidth W : {MemWidth::B32, MemWidth::B64, MemWidth::B128}) {
       MixBenchParams P;
-      P.FfmaPerLds = Ratio;
+      P.FfmaPerLds = Ratios[I];
       P.Width = W;
       Kernel K = generateMixBench(M, P);
-      Row.push_back(formatDouble(measureThroughput(M, K), 1));
+      Row.push_back(
+          formatDouble(DB.measureKernel(K, MeasureConfig()), 1));
     }
+    return Row;
+  });
+  Table T;
+  T.setHeader({"FFMA/LDS ratio", "LDS", "LDS.64", "LDS.128"});
+  for (auto &Row : Rows)
     T.addRow(Row);
-  }
   benchPrint(T.render());
   benchPrint("\n");
 }
 
-int main() {
-  sweep(gtx580());
-  sweep(gtx680());
+int main(int Argc, char **Argv) {
+  BenchRun Run("fig2_ffma_lds_mix", Argc, Argv);
+  sweep(Run, gtx580());
+  sweep(Run, gtx680());
   return 0;
 }

@@ -13,7 +13,8 @@
 
 using namespace gpuperf;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("fig3_register_blocking", Argc, Argv);
   benchHeader("Figure 3: FFMA percentage in the SGEMM main loop vs "
               "register blocking factor");
   Table T;

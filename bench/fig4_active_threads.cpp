@@ -9,29 +9,33 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
-#include "ubench/PerfDatabase.h"
 
 using namespace gpuperf;
 
-static void sweep(const MachineDesc &M, const std::vector<int> &Threads) {
+static void sweep(const BenchRun &Run, const MachineDesc &M,
+                  const std::vector<int> &Threads) {
   benchHeader(formatString(
       "Figure 4 (%s): FFMA/LDS.64 6:1 mix vs active threads per SM",
       M.Name.c_str()));
-  PerfDatabase DB(M);
+  PerfDatabase DB = Run.makeDatabase(M);
+  auto Rows = runSweep(Run.jobs(), Threads.size(), [&](size_t I) {
+    int N = Threads[I];
+    return std::vector<std::string>{
+        formatString("%d", N),
+        formatDouble(DB.mixThroughput(6, MemWidth::B64, true, N), 1),
+        formatDouble(DB.mixThroughput(6, MemWidth::B64, false, N), 1)};
+  });
   Table T;
   T.setHeader({"active threads", "dependent", "independent"});
-  for (int N : Threads)
-    T.addRow({formatString("%d", N),
-              formatDouble(
-                  DB.mixThroughput(6, MemWidth::B64, true, N), 1),
-              formatDouble(
-                  DB.mixThroughput(6, MemWidth::B64, false, N), 1)});
+  for (auto &Row : Rows)
+    T.addRow(Row);
   benchPrint(T.render());
   benchPrint("\n");
 }
 
-int main() {
-  sweep(gtx580(), {32, 64, 128, 192, 256, 384, 512, 768, 1024});
-  sweep(gtx680(), {32, 64, 128, 256, 512, 768, 1024, 1536, 2048});
+int main(int Argc, char **Argv) {
+  BenchRun Run("fig4_active_threads", Argc, Argv);
+  sweep(Run, gtx580(), {32, 64, 128, 192, 256, 384, 512, 768, 1024});
+  sweep(Run, gtx680(), {32, 64, 128, 256, 512, 768, 1024, 1536, 2048});
   return 0;
 }

@@ -13,34 +13,56 @@
 
 using namespace gpuperf;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("fig5_sgemm_variants", Argc, Argv);
   benchHeader("Figure 5: SGEMM performance of CUBLAS-like and ASM "
               "implementations (GFLOPS)");
+  struct Point {
+    const MachineDesc *M;
+    int Size;
+    GemmVariant V;
+  };
+  std::vector<Point> Points;
+  for (const MachineDesc *M : {&gtx580(), &gtx680()})
+    for (int Size : {2400, 4800})
+      for (GemmVariant V : {GemmVariant::NN, GemmVariant::NT,
+                            GemmVariant::TN, GemmVariant::TT})
+        Points.push_back({M, Size, V});
+
+  struct Outcome {
+    std::vector<std::string> Row;
+    std::string Error;
+  };
+  auto Outcomes = runSweep(Run.jobs(), Points.size(), [&](size_t I) {
+    const Point &Pt = Points[I];
+    SgemmProblem P;
+    P.Variant = Pt.V;
+    P.M = P.N = P.K = Pt.Size;
+    SgemmRunOptions O;
+    O.Mode = SimMode::ProjectOneWave;
+    Outcome Out;
+    auto Cublas = runSgemm(*Pt.M, SgemmImpl::CublasLike, P, O);
+    auto Asm = runSgemm(*Pt.M, SgemmImpl::AsmTuned, P, O);
+    if (!Cublas || !Asm) {
+      Out.Error = Cublas ? Asm.message() : Cublas.message();
+      return Out;
+    }
+    Out.Row = {Pt.M->Name, formatString("%d", Pt.Size),
+               gemmVariantName(Pt.V), formatDouble(Cublas->Gflops, 0),
+               formatDouble(Asm->Gflops, 0),
+               formatDouble(Asm->Gflops / Cublas->Gflops, 3)};
+    return Out;
+  });
+
   Table T;
   T.setHeader({"machine", "size", "variant", "CUBLAS-like", "ASM",
                "speedup"});
-  for (const MachineDesc *M : {&gtx580(), &gtx680()}) {
-    for (int Size : {2400, 4800}) {
-      for (GemmVariant V : {GemmVariant::NN, GemmVariant::NT,
-                            GemmVariant::TN, GemmVariant::TT}) {
-        SgemmProblem P;
-        P.Variant = V;
-        P.M = P.N = P.K = Size;
-        SgemmRunOptions O;
-        O.Mode = SimMode::ProjectOneWave;
-        auto Cublas = runSgemm(*M, SgemmImpl::CublasLike, P, O);
-        auto Asm = runSgemm(*M, SgemmImpl::AsmTuned, P, O);
-        if (!Cublas || !Asm) {
-          benchPrint("error: " +
-                     (Cublas ? Asm.message() : Cublas.message()) + "\n");
-          return 1;
-        }
-        T.addRow({M->Name, formatString("%d", Size), gemmVariantName(V),
-                  formatDouble(Cublas->Gflops, 0),
-                  formatDouble(Asm->Gflops, 0),
-                  formatDouble(Asm->Gflops / Cublas->Gflops, 3)});
-      }
+  for (Outcome &Out : Outcomes) {
+    if (!Out.Error.empty()) {
+      benchPrint("error: " + Out.Error + "\n");
+      return 1;
     }
+    T.addRow(Out.Row);
   }
   benchPrint(T.render());
   benchPrint("\nPaper: ~5% average ASM advantage on GTX580; ASM and "

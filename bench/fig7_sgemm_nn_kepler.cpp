@@ -13,29 +13,30 @@
 
 using namespace gpuperf;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("fig7_sgemm_nn_kepler", Argc, Argv);
   benchHeader("Figure 7: SGEMM NN performance on GTX680 (GFLOPS)");
   const MachineDesc &M = gtx680();
-  Table T;
-  T.setHeader({"size", "assembly", "cublas-like", "magma-like"});
-  for (int Size : {480, 960, 1440, 1920, 2400, 2880, 3360, 3840, 4320,
-                   4800}) {
+  const std::vector<int> Sizes = {480,  960,  1440, 1920, 2400,
+                                  2880, 3360, 3840, 4320, 4800};
+  auto Rows = runSweep(Run.jobs(), Sizes.size(), [&](size_t I) {
     SgemmProblem P;
-    P.M = P.N = P.K = Size;
+    P.M = P.N = P.K = Sizes[I];
     SgemmRunOptions O;
     O.Mode = SimMode::ProjectOneWave;
-    std::vector<std::string> Row = {formatString("%d", Size)};
+    std::vector<std::string> Row = {formatString("%d", Sizes[I])};
     for (SgemmImpl Impl : {SgemmImpl::AsmTuned, SgemmImpl::CublasLike,
                            SgemmImpl::MagmaLike}) {
       auto R = runSgemm(M, Impl, P, O);
-      if (!R) {
-        benchPrint("error: " + R.message() + "\n");
-        return 1;
-      }
-      Row.push_back(formatDouble(R->Gflops, 0));
+      Row.push_back(R ? formatDouble(R->Gflops, 0)
+                      : "error: " + R.message());
     }
+    return Row;
+  });
+  Table T;
+  T.setHeader({"size", "assembly", "cublas-like", "magma-like"});
+  for (auto &Row : Rows)
     T.addRow(Row);
-  }
   benchPrint(T.render());
   benchPrint(formatString(
       "\nTheoretical peak %.0f GFLOPS; paper: best assembly ~1300 GFLOPS "

@@ -27,7 +27,8 @@ void addRow(Table &T, const std::string &Name, const Kernel &K) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("fig8_register_conflicts", Argc, Argv);
   benchHeader("Figure 8: FFMA register bank conflicts in Kepler SGEMM "
               "binaries");
   const MachineDesc &M = gtx680();

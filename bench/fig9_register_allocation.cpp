@@ -14,7 +14,8 @@
 
 using namespace gpuperf;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("fig9_register_allocation", Argc, Argv);
   benchHeader("Figure 9: bank-aware register allocation (BR = 6)");
   SgemmKernelConfig Cfg;
   Cfg.M = Cfg.N = Cfg.K = 960;

@@ -21,7 +21,8 @@
 
 using namespace gpuperf;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("issue_headroom_generations", Argc, Argv);
   benchHeader("Section 4.2: issue headroom vs SP processing throughput "
               "across generations");
   Table T;
@@ -29,14 +30,13 @@ int main() {
                "LDS cost"});
   for (const MachineDesc *MP : {&gt200(), &gtx580(), &gtx680()}) {
     const MachineDesc &M = *MP;
+    PerfDatabase DB = Run.makeDatabase(M);
     MixBenchParams P;
     P.FfmaPerLds = -1;
-    double Pure = measureThroughput(M, generateMixBench(M, P),
-                                    {512, 1});
+    double Pure = DB.measureKernel(generateMixBench(M, P), {512, 1});
     P.FfmaPerLds = 3;
     P.Width = MemWidth::B32;
-    double Mixed = measureThroughput(M, generateMixBench(M, P),
-                                     {512, 1});
+    double Mixed = DB.measureKernel(generateMixBench(M, P), {512, 1});
     double FfmaInMix = Mixed * 3.0 / 4.0;
     // How much FFMA throughput one LDS.32 per 3 FFMAs costs (0 = free).
     double LdsCost = (Pure - FfmaInMix) / Pure;

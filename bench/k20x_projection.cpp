@@ -20,11 +20,12 @@
 
 using namespace gpuperf;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("k20x_projection", Argc, Argv);
   benchHeader("Extension: projected SGEMM upper bound on Tesla K20X "
               "(GK110, 255 registers/thread)");
   const MachineDesc &M = teslaK20X();
-  PerfDatabase DB(M);
+  PerfDatabase DB = Run.makeDatabase(M);
   UpperBoundModel Model(DB);
 
   benchPrint(formatString(

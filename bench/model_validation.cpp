@@ -15,18 +15,16 @@
 
 using namespace gpuperf;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("model_validation", Argc, Argv);
   benchHeader("Model validation: every measured configuration must stay "
               "under its upper bound (SGEMM NN 1920^3)");
   bool AllUnderBound = true;
   for (const MachineDesc *MP : {&gtx580(), &gtx680()}) {
     const MachineDesc &M = *MP;
-    PerfDatabase DB(M);
+    PerfDatabase DB = Run.makeDatabase(M);
     UpperBoundModel Model(DB);
-    Table T;
-    T.setHeader({"configuration", "bound", "achieved", "% of bound"});
     struct Case {
-      const char *Name;
       SgemmKernelConfig Cfg;
       SgemmModelParams Params;
     };
@@ -41,7 +39,16 @@ int main() {
         Cases.push_back(C);
       }
     }
-    for (Case &C : Cases) {
+    // Each case is an independent model analysis + simulator run, so the
+    // sweep fans across --jobs threads; outcomes land in case order.
+    struct Outcome {
+      std::vector<std::string> Row;
+      std::string Error;
+      bool Exceeded = false;
+    };
+    auto Outcomes = runSweep(Run.jobs(), Cases.size(), [&](size_t I) {
+      const Case &C = Cases[I];
+      Outcome Out;
       UpperBoundReport Bound = Model.analyze(C.Params);
       SgemmProblem P;
       P.M = P.N = P.K = 1920;
@@ -49,19 +56,30 @@ int main() {
       O.Mode = SimMode::ProjectOneWave;
       auto R = runSgemmConfig(M, C.Cfg, P, O);
       if (!R) {
-        benchPrint("error: " + R.message() + "\n");
-        return 1;
+        Out.Error = R.message();
+        return Out;
       }
       double Pct = 100 * R->Gflops / Bound.PotentialGflops;
-      if (R->Gflops > Bound.PotentialGflops)
+      Out.Exceeded = R->Gflops > Bound.PotentialGflops;
+      Out.Row = {formatString("BR=%d %s", C.Params.BR,
+                              C.Params.LdsWidth == MemWidth::B64
+                                  ? "LDS.64"
+                                  : "LDS"),
+                 formatDouble(Bound.PotentialGflops, 0),
+                 formatDouble(R->Gflops, 0),
+                 formatDouble(Pct, 1) + "%"};
+      return Out;
+    });
+    Table T;
+    T.setHeader({"configuration", "bound", "achieved", "% of bound"});
+    for (Outcome &Out : Outcomes) {
+      if (!Out.Error.empty()) {
+        benchPrint("error: " + Out.Error + "\n");
+        return 1;
+      }
+      if (Out.Exceeded)
         AllUnderBound = false;
-      T.addRow({formatString("BR=%d %s", C.Params.BR,
-                             C.Params.LdsWidth == MemWidth::B64
-                                 ? "LDS.64"
-                                 : "LDS"),
-                formatDouble(Bound.PotentialGflops, 0),
-                formatDouble(R->Gflops, 0),
-                formatDouble(Pct, 1) + "%"});
+      T.addRow(Out.Row);
     }
     benchPrint(formatString("\n%s:\n", M.Name.c_str()));
     benchPrint(T.render());

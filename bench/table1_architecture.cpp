@@ -12,7 +12,8 @@
 
 using namespace gpuperf;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("table1_architecture", Argc, Argv);
   benchHeader("Table 1: Architecture Evolution");
   const MachineDesc *Machines[] = {&gt200(), &gtx580(), &gtx680()};
 

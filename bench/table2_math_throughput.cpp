@@ -16,33 +16,37 @@
 
 using namespace gpuperf;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchRun Run("table2_math_throughput", Argc, Argv);
   benchHeader("Table 2: Kepler math instruction throughput vs operand "
               "register indices");
   const MachineDesc &M = gtx680();
+  PerfDatabase DB = Run.makeDatabase(M);
+  MeasureConfig Cfg;
+  Cfg.ThreadsPerBlock = 1024;
+  Cfg.BlocksPerSM = 1;
 
+  const std::vector<Table2Row> Patterns = table2Patterns();
+  auto Rows = runSweep(Run.jobs(), Patterns.size(), [&](size_t I) {
+    const Table2Row &Row = Patterns[I];
+    Kernel K = generateOpPatternBench(M, Row.Pattern);
+    double Measured = DB.measureKernel(K, Cfg);
+    return std::vector<std::string>{
+        Row.Syntax, formatDouble(Row.PaperThroughput, 1),
+        formatDouble(Measured, 1),
+        formatDouble(Measured / Row.PaperThroughput, 3)};
+  });
   Table T;
   T.setHeader({"pattern", "paper", "measured", "ratio"});
-  for (const Table2Row &Row : table2Patterns()) {
-    Kernel K = generateOpPatternBench(M, Row.Pattern);
-    MeasureConfig Cfg;
-    Cfg.ThreadsPerBlock = 1024;
-    Cfg.BlocksPerSM = 1;
-    double Measured = measureThroughput(M, K, Cfg);
-    T.addRow({Row.Syntax, formatDouble(Row.PaperThroughput, 1),
-              formatDouble(Measured, 1),
-              formatDouble(Measured / Row.PaperThroughput, 3)});
-  }
+  for (auto &Row : Rows)
+    T.addRow(Row);
   benchPrint(T.render());
 
   // The Section 3.3 repeated-source structure.
   Kernel Rep = generateOpPatternBench(M, makeFFMA(4, 3, 3, 4));
-  MeasureConfig Cfg;
-  Cfg.ThreadsPerBlock = 1024;
-  Cfg.BlocksPerSM = 1;
   benchPrint(formatString(
       "\nFFMA RA, RB, RB, RA (repeated source, Section 3.3): paper ~178, "
       "measured %.1f\n",
-      measureThroughput(M, Rep, Cfg)));
+      DB.measureKernel(Rep, Cfg)));
   return 0;
 }

@@ -14,13 +14,13 @@
 
 using namespace gpuperf;
 
-static void analyzeMachine(const MachineDesc &M,
+static void analyzeMachine(const BenchRun &Run, const MachineDesc &M,
                            std::vector<MemWidth> Widths,
                            double PaperBoundPercent,
                            double PaperAchievedPercent) {
   benchHeader(formatString("Performance upper bound of SGEMM on %s",
                            M.Name.c_str()));
-  PerfDatabase DB(M);
+  PerfDatabase DB = Run.makeDatabase(M);
   UpperBoundModel Model(DB);
 
   Table T;
@@ -93,12 +93,13 @@ static void analyzeMachine(const MachineDesc &M,
   benchPrint("\n");
 }
 
-int main() {
-  analyzeMachine(gtx580(),
+int main(int Argc, char **Argv) {
+  BenchRun Run("upper_bound_analysis", Argc, Argv);
+  analyzeMachine(Run, gtx580(),
                  {MemWidth::B32, MemWidth::B64, MemWidth::B128},
                  /*PaperBoundPercent=*/82.5,
                  /*PaperAchievedPercent=*/74.2);
-  analyzeMachine(gtx680(),
+  analyzeMachine(Run, gtx680(),
                  {MemWidth::B32, MemWidth::B64, MemWidth::B128},
                  /*PaperBoundPercent=*/54.6,
                  /*PaperAchievedPercent=*/42.0);

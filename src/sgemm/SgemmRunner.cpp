@@ -117,6 +117,7 @@ gpuperf::runSgemmConfig(const MachineDesc &M, SgemmKernelConfig Cfg,
                    floatBits(Problem.Beta)};
   Launch.Mode = Options.Mode;
   Launch.WatchdogCycles = Options.WatchdogCycles;
+  Launch.Jobs = Options.Jobs;
 
   auto LR = launchKernel(M, K, Launch, GM);
   if (!LR)

@@ -54,6 +54,9 @@ struct SgemmRunOptions {
   /// Per-wave watchdog cycle budget (0 = derived default); runtime traps
   /// fail the run with the trap diagnostic in the Expected message.
   uint64_t WatchdogCycles = 0;
+  /// Threads simulating SMs concurrently in Full mode (see
+  /// LaunchConfig::Jobs); results are bit-identical for every value.
+  int Jobs = 1;
 };
 
 /// Runs \p Problem with implementation \p Impl on machine \p M.

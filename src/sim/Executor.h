@@ -62,9 +62,13 @@ struct ExecEffects {
 };
 
 /// Functional executor bound to one launch's memories and geometry.
+///
+/// Global memory is accessed through a GlobalMemoryView, so the same
+/// executor code serves both the serial path (direct view) and the
+/// parallel per-SM path (view over a private write overlay).
 class Executor {
 public:
-  Executor(const MachineDesc &M, GlobalMemory &Global,
+  Executor(const MachineDesc &M, GlobalMemoryView Global,
            const std::vector<uint32_t> &Params, const LaunchDims &Dims)
       : M(M), Global(Global), Params(Params), Dims(Dims) {}
 
@@ -76,7 +80,7 @@ public:
 
 private:
   const MachineDesc &M;
-  GlobalMemory &Global;
+  GlobalMemoryView Global;
   const std::vector<uint32_t> &Params;
   const LaunchDims &Dims;
 };

@@ -8,6 +8,7 @@
 
 #include "support/Format.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 
@@ -170,6 +171,15 @@ InjectionRun FaultInjector::runOne(const FaultPlan &Plan) const {
     }
   }
   return runModuleBytes(Mod.serialize());
+}
+
+std::vector<InjectionRun>
+FaultInjector::runBatch(const std::vector<FaultPlan> &Plans,
+                        int Jobs) const {
+  std::vector<InjectionRun> Runs(Plans.size());
+  parallelFor(Jobs, Plans.size(),
+              [&](size_t I) { Runs[I] = runOne(Plans[I]); });
+  return Runs;
 }
 
 InjectionRun

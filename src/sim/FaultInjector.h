@@ -87,6 +87,15 @@ public:
   /// Applies \p Plan to a fresh copy of the base module and runs it.
   InjectionRun runOne(const FaultPlan &Plan) const;
 
+  /// Runs every plan in \p Plans, fanning the mutants across up to
+  /// \p Jobs threads (<= 0 = hardware concurrency). Mutant runs are
+  /// fully independent -- each gets its own module copy and fresh global
+  /// memory -- and results land in plan order, so the returned vector is
+  /// identical for every Jobs value: runBatch(P, 8) == runBatch(P, 1)
+  /// == {runOne(P[0]), runOne(P[1]), ...}.
+  std::vector<InjectionRun> runBatch(const std::vector<FaultPlan> &Plans,
+                                     int Jobs = 1) const;
+
 private:
   InjectionRun runModuleBytes(const std::vector<uint8_t> &Bytes) const;
   InjectionRun runModule(const Module &Mod) const;

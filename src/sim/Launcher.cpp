@@ -8,8 +8,48 @@
 
 #include "support/Format.h"
 #include "support/MathUtils.h"
+#include "support/ThreadPool.h"
 
 using namespace gpuperf;
+
+namespace {
+
+/// Everything one concurrently-simulated SM produces: its private write
+/// overlay, its accumulated statistics, and -- when a wave failed -- the
+/// error exactly as the serial path would have reported it.
+struct SMOutcome {
+  SimStats Stats;
+  GlobalWriteOverlay Overlay;
+  int Waves = 0;
+  bool Failed = false;
+  std::string Error;
+  TrapInfo Trap;
+};
+
+/// Runs all waves of one SM's block list. Used by both the serial and
+/// the parallel path so per-SM behaviour is the same code by
+/// construction; only where the writes land differs (direct vs overlay).
+void runSMWaves(const MachineDesc &M, const Kernel &K, Executor &Exec,
+                const LaunchDims &Dims, const std::vector<int> &Mine,
+                int ActiveBlocks, uint64_t Watchdog, SMOutcome &Out) {
+  for (size_t First = 0; First < Mine.size();
+       First += static_cast<size_t>(ActiveBlocks)) {
+    size_t Last =
+        std::min(Mine.size(), First + static_cast<size_t>(ActiveBlocks));
+    std::vector<int> WaveBlocks(Mine.begin() + First, Mine.begin() + Last);
+    auto Wave =
+        simulateWave(M, K, Exec, Dims, WaveBlocks, Watchdog, &Out.Trap);
+    if (!Wave) {
+      Out.Failed = true;
+      Out.Error = Wave.takeError();
+      return;
+    }
+    Out.Stats.addSequential(*Wave);
+    ++Out.Waves;
+  }
+}
+
+} // namespace
 
 uint64_t gpuperf::deriveWatchdogBudget(size_t CodeSize, int WaveWarps) {
   // Rationale: a warp's dynamic instruction count is bounded by code size
@@ -97,32 +137,64 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
   // Full simulation: blocks are distributed round-robin over SMs; each SM
   // runs its share in waves of Occ.ActiveBlocks. Chip time is the slowest
   // SM.
-  SimStats Chip;
-  uint64_t SlowestSM = 0;
+  std::vector<std::vector<int>> PerSMBlocks;
   for (int SM = 0; SM < M.NumSMs; ++SM) {
-    // Blocks of this SM.
     std::vector<int> Mine;
     for (int B = SM; B < NumBlocks; B += M.NumSMs)
       Mine.push_back(B);
-    if (Mine.empty())
-      continue;
-    SimStats SMStats;
-    for (size_t First = 0; First < Mine.size();
-         First += static_cast<size_t>(Occ.ActiveBlocks)) {
-      size_t Last = std::min(Mine.size(),
-                             First + static_cast<size_t>(Occ.ActiveBlocks));
-      std::vector<int> WaveBlocks(Mine.begin() + First,
-                                  Mine.begin() + Last);
-      auto Wave =
-          simulateWave(M, K, Exec, Dims, WaveBlocks, Watchdog, TrapOut);
-      if (!Wave)
-        return ER::error(Wave.message());
-      SMStats.addSequential(*Wave);
-      ++Result.WavesSimulated;
-    }
-    SlowestSM = std::max(SlowestSM, SMStats.Cycles);
-    Chip.addConcurrent(SMStats);
+    if (!Mine.empty())
+      PerSMBlocks.push_back(std::move(Mine));
   }
+
+  const int Jobs = resolveJobs(Config.Jobs);
+  SimStats Chip;
+  uint64_t SlowestSM = 0;
+
+  if (Jobs <= 1 || PerSMBlocks.size() <= 1) {
+    // Serial path: SMs share the executor and write global memory
+    // directly, one SM after the other.
+    for (const std::vector<int> &Mine : PerSMBlocks) {
+      SMOutcome Out;
+      runSMWaves(M, K, Exec, Dims, Mine, Occ.ActiveBlocks, Watchdog, Out);
+      if (Out.Failed) {
+        if (TrapOut && Out.Trap.valid())
+          *TrapOut = Out.Trap;
+        return ER::error(Out.Error);
+      }
+      Result.WavesSimulated += Out.Waves;
+      SlowestSM = std::max(SlowestSM, Out.Stats.Cycles);
+      Chip.addConcurrent(Out.Stats);
+    }
+  } else {
+    // Parallel path: each SM simulates against a private write overlay,
+    // then the outcomes are merged in SM index order -- the order the
+    // serial loop would have produced its side effects in, so the merged
+    // memory image, statistics and any reported trap are bit-identical.
+    std::vector<SMOutcome> Outcomes(PerSMBlocks.size());
+    parallelFor(Jobs, PerSMBlocks.size(), [&](size_t Idx) {
+      SMOutcome &Out = Outcomes[Idx];
+      Executor SMExec(M, GlobalMemoryView(Global, Out.Overlay),
+                      Config.Params, Dims);
+      runSMWaves(M, K, SMExec, Dims, PerSMBlocks[Idx], Occ.ActiveBlocks,
+                 Watchdog, Out);
+    });
+    for (SMOutcome &Out : Outcomes) {
+      // Apply before checking for failure: when the serial path stops at
+      // SM k's trap, the writes of SMs 0..k-1 and SM k's partial wave
+      // are already in global memory; later SMs never ran, so their
+      // overlays are discarded by returning here.
+      Out.Overlay.applyTo(Global);
+      if (Out.Failed) {
+        if (TrapOut && Out.Trap.valid())
+          *TrapOut = Out.Trap;
+        return ER::error(Out.Error);
+      }
+      Result.WavesSimulated += Out.Waves;
+      SlowestSM = std::max(SlowestSM, Out.Stats.Cycles);
+      Chip.addConcurrent(Out.Stats);
+    }
+  }
+
   Chip.Cycles = SlowestSM;
   Result.Stats = Chip;
   Result.TotalCycles = static_cast<double>(SlowestSM);

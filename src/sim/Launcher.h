@@ -48,6 +48,15 @@ struct LaunchConfig {
   /// deriveWatchdogBudget); a kernel that loops forever fails with a
   /// WatchdogTimeout trap instead of hanging or silently breaking.
   uint64_t WatchdogCycles = 0;
+  /// Host threads used to simulate independent SMs concurrently in
+  /// SimMode::Full. 1 (the default) takes the serial path; <= 0 means
+  /// one per hardware thread; > 1 simulates each SM against a private
+  /// copy-on-write overlay of global memory, merged in SM index order
+  /// afterwards -- results, statistics, cycles and traps are
+  /// bit-identical to the serial path (enforced by parallel_sim_test).
+  /// Like the rest of the launch API this assumes the CUDA contract that
+  /// blocks of one launch do not communicate through global memory.
+  int Jobs = 1;
 };
 
 /// Result of a (possibly projected) launch.

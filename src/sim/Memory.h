@@ -17,9 +17,12 @@
 
 #include "support/Error.h"
 
+#include <array>
+#include <bitset>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <vector>
 
 namespace gpuperf {
@@ -99,6 +102,107 @@ public:
 private:
   std::vector<uint8_t> Data;
   size_t Next = 256; // Keep address 0 invalid-ish.
+};
+
+/// A word-granular write overlay over a GlobalMemory, the mechanism that
+/// lets independent SMs of one launch simulate concurrently: every SM
+/// executes against a private overlay (reads fall through to the shared
+/// base image, writes land in the overlay), and after all SMs finish the
+/// overlays are applied to the base *in SM index order* -- the exact
+/// order the serial path wrote in. For kernels whose blocks are
+/// independent (no inter-block communication through global memory
+/// within a launch -- the CUDA execution-model contract every kernel in
+/// this repo satisfies), the merged image and every per-SM simulation
+/// are bit-identical to the serial path.
+///
+/// Tracking is per 32-bit word because the ISA's global accesses are
+/// word-multiples and word-aligned (the executor traps misalignment
+/// before memory is touched), so two SMs writing different words of the
+/// same 4 KB page -- adjacent SGEMM C tiles do this constantly -- merge
+/// exactly.
+class GlobalWriteOverlay {
+public:
+  /// Overlay value if this overlay wrote \p Addr, else the base value.
+  uint32_t load32(const GlobalMemory &Base, uint32_t Addr) const {
+    assert(Addr % 4 == 0 && "global word access must be 4-byte aligned");
+    auto It = Pages.find(Addr / PageBytes);
+    if (It != Pages.end()) {
+      uint32_t Word = (Addr % PageBytes) / 4;
+      if (It->second.Dirty[Word])
+        return It->second.Words[Word];
+    }
+    return Base.load32(Addr);
+  }
+
+  /// Records a write. Mirrors GlobalMemory::store32's total-function
+  /// guard: out-of-bounds stores are dropped here too, so overlaid and
+  /// direct execution stay indistinguishable even for a hypothetical
+  /// missed bounds check upstream.
+  void store32(const GlobalMemory &Base, uint32_t Addr, uint32_t Value) {
+    assert(Addr % 4 == 0 && "global word access must be 4-byte aligned");
+    if (!Base.inBounds(Addr, 4))
+      return;
+    Page &P = Pages[Addr / PageBytes];
+    uint32_t Word = (Addr % PageBytes) / 4;
+    P.Words[Word] = Value;
+    P.Dirty[Word] = true;
+  }
+
+  /// Applies every recorded write to \p Base in ascending address order
+  /// (the map is ordered, so this is deterministic).
+  void applyTo(GlobalMemory &Base) const {
+    for (const auto &[PageIdx, P] : Pages) {
+      for (uint32_t Word = 0; Word < PageWords; ++Word)
+        if (P.Dirty[Word])
+          Base.store32(PageIdx * PageBytes + 4 * Word, P.Words[Word]);
+    }
+  }
+
+  bool empty() const { return Pages.empty(); }
+
+private:
+  static constexpr uint32_t PageWords = 1024; ///< 4 KB pages.
+  static constexpr uint32_t PageBytes = PageWords * 4;
+
+  struct Page {
+    std::array<uint32_t, PageWords> Words{};
+    std::bitset<PageWords> Dirty;
+  };
+
+  std::map<uint32_t, Page> Pages;
+};
+
+/// What the executor reads and writes global memory through: either the
+/// GlobalMemory directly (serial simulation -- zero behaviour change) or
+/// base-plus-overlay (one overlay per concurrently-simulated SM).
+class GlobalMemoryView {
+public:
+  /*implicit*/ GlobalMemoryView(GlobalMemory &Base) : Base(&Base) {}
+  GlobalMemoryView(GlobalMemory &Base, GlobalWriteOverlay &Overlay)
+      : Base(&Base), Overlay(&Overlay) {}
+
+  /// Bounds always come from the base image: an overlay never extends
+  /// the address space.
+  bool inBounds(uint64_t Addr, int Bytes) const {
+    return Base->inBounds(Addr, Bytes);
+  }
+  size_t size() const { return Base->size(); }
+
+  uint32_t load32(uint32_t Addr) const {
+    return Overlay ? Overlay->load32(*Base, Addr) : Base->load32(Addr);
+  }
+  /// const like the executor's execute(): the view is a handle; stores
+  /// mutate the referenced memory (or overlay), not the view itself.
+  void store32(uint32_t Addr, uint32_t Value) const {
+    if (Overlay)
+      Overlay->store32(*Base, Addr, Value);
+    else
+      Base->store32(Addr, Value);
+  }
+
+private:
+  GlobalMemory *Base;
+  GlobalWriteOverlay *Overlay = nullptr;
 };
 
 /// One block's shared memory.

@@ -10,6 +10,7 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <memory>
@@ -518,10 +519,22 @@ private:
 
 } // namespace
 
+namespace {
+std::atomic<uint64_t> SimulatedCycleTally{0};
+} // namespace
+
 Expected<SimStats> gpuperf::simulateWave(
     const MachineDesc &M, const Kernel &K, Executor &Exec,
     const LaunchDims &Dims, const std::vector<int> &BlockIds,
     uint64_t WatchdogCycles, TrapInfo *TrapOut) {
   SMSim Sim(M, K, Exec, Dims, BlockIds, WatchdogCycles);
-  return Sim.run(TrapOut);
+  Expected<SimStats> Result = Sim.run(TrapOut);
+  if (Result.hasValue())
+    SimulatedCycleTally.fetch_add(Result->Cycles,
+                                  std::memory_order_relaxed);
+  return Result;
+}
+
+uint64_t gpuperf::totalSimulatedCycles() {
+  return SimulatedCycleTally.load(std::memory_order_relaxed);
 }

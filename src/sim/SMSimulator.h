@@ -49,6 +49,12 @@ Expected<SimStats> simulateWave(const MachineDesc &M, const Kernel &K,
                                 uint64_t WatchdogCycles = 0,
                                 TrapInfo *TrapOut = nullptr);
 
+/// Process-wide count of SM cycles simulated by successful waves since
+/// process start (atomic; waves may run concurrently). The bench
+/// harness samples it to report simulated-cycles-per-wall-second, the
+/// simulator's own throughput metric.
+uint64_t totalSimulatedCycles();
+
 } // namespace gpuperf
 
 #endif // GPUPERF_SIM_SMSIMULATOR_H

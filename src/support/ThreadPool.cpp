@@ -1,0 +1,135 @@
+//===- support/ThreadPool.cpp - worker pool and parallel loops ------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <memory>
+
+using namespace gpuperf;
+
+ThreadPool::ThreadPool(int Threads) {
+  ensureWorkers(Threads <= 0 ? hardwareJobs() : Threads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::post(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  WakeWorkers.notify_one();
+}
+
+void ThreadPool::ensureWorkers(int Threads) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  while (static_cast<int>(Workers.size()) < Threads)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+int ThreadPool::workerCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return static_cast<int>(Workers.size());
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Stopping && Queue.empty())
+        return;
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+ThreadPool &ThreadPool::system() {
+  static ThreadPool Pool(hardwareJobs());
+  return Pool;
+}
+
+int ThreadPool::hardwareJobs() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : static_cast<int>(N);
+}
+
+int gpuperf::resolveJobs(int Jobs) {
+  return Jobs <= 0 ? ThreadPool::hardwareJobs() : Jobs;
+}
+
+namespace {
+
+/// Shared state of one parallelFor call. Heap-allocated and shared with
+/// every helper task, because helpers posted to the pool may only get a
+/// worker after the loop's caller has already claimed the last iteration
+/// and returned.
+struct ForLoopState {
+  ForLoopState(size_t N, const std::function<void(size_t)> &Fn)
+      : N(N), Fn(Fn) {}
+
+  /// Claims iterations until none remain. Safe to call from any number of
+  /// threads; each index is executed exactly once.
+  void work() {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        break;
+      Fn(I);
+      if (Done.fetch_add(1, std::memory_order_acq_rel) + 1 == N) {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        AllDone.notify_all();
+      }
+    }
+  }
+
+  void waitAllDone() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllDone.wait(Lock, [this] {
+      return Done.load(std::memory_order_acquire) == N;
+    });
+  }
+
+  const size_t N;
+  std::function<void(size_t)> Fn;
+  std::atomic<size_t> Next{0};
+  std::atomic<size_t> Done{0};
+  std::mutex Mutex;
+  std::condition_variable AllDone;
+};
+
+} // namespace
+
+void gpuperf::parallelFor(int Jobs, size_t N,
+                          const std::function<void(size_t)> &Fn) {
+  Jobs = resolveJobs(Jobs);
+  if (Jobs <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  auto State = std::make_shared<ForLoopState>(N, Fn);
+  size_t Helpers = std::min<size_t>(static_cast<size_t>(Jobs) - 1, N - 1);
+  ThreadPool &Pool = ThreadPool::system();
+  Pool.ensureWorkers(static_cast<int>(Helpers));
+  for (size_t H = 0; H < Helpers; ++H)
+    Pool.post([State] { State->work(); });
+  State->work();
+  State->waitAllDone();
+}

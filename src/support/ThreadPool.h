@@ -1,0 +1,90 @@
+//===- support/ThreadPool.h - worker pool and parallel loops ---*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent worker pool plus parallelFor, the execution engine
+/// behind every parallel path in the repository: concurrent per-SM
+/// simulation in launchKernel, fault-injection batches, and bench-point
+/// sweeps. Iterations are distributed by an atomic claim counter, so idle
+/// workers steal whatever iterations remain instead of being assigned
+/// fixed chunks up front -- uneven per-iteration cost (mutants that trap
+/// early next to mutants that run full waves) balances automatically.
+///
+/// Parallelism here never changes results: callers are required to hand
+/// parallelFor independent iterations, and every caller in this repo
+/// writes its result into a per-index slot and merges in index order
+/// afterwards, keeping output bit-identical to the Jobs=1 serial loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SUPPORT_THREADPOOL_H
+#define GPUPERF_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpuperf {
+
+/// A persistent pool of worker threads consuming a shared task queue.
+///
+/// The pool is a plain scheduling substrate: it guarantees every posted
+/// task eventually runs, nothing about ordering. Waiting for completion
+/// is the caller's business (parallelFor tracks its own iterations), so
+/// nested parallel loops cannot deadlock -- a loop's caller thread always
+/// participates in its own work and never blocks on queue capacity.
+class ThreadPool {
+public:
+  /// Creates a pool with \p Threads workers (0 = hardwareJobs()).
+  explicit ThreadPool(int Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution on some worker.
+  void post(std::function<void()> Task);
+
+  /// Grows the pool to at least \p Threads workers (never shrinks).
+  void ensureWorkers(int Threads);
+
+  int workerCount() const;
+
+  /// The process-wide pool used by parallelFor. Created on first use with
+  /// hardwareJobs() workers and grown on demand.
+  static ThreadPool &system();
+
+  /// std::thread::hardware_concurrency clamped to at least 1.
+  static int hardwareJobs();
+
+private:
+  void workerLoop();
+
+  mutable std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  bool Stopping = false;
+};
+
+/// Resolves a user-facing jobs knob: values <= 0 mean "one per hardware
+/// thread", anything else is taken literally.
+int resolveJobs(int Jobs);
+
+/// Runs Fn(0) .. Fn(N-1), each exactly once, using up to \p Jobs threads
+/// (the calling thread included). Jobs <= 1 degrades to a plain serial
+/// loop with no pool involvement at all. Iterations must be independent:
+/// they may run in any order and concurrently. Returns once every
+/// iteration has finished.
+void parallelFor(int Jobs, size_t N, const std::function<void(size_t)> &Fn);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SUPPORT_THREADPOOL_H

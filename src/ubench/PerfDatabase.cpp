@@ -6,20 +6,222 @@
 
 #include "ubench/PerfDatabase.h"
 
+#include "support/Format.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 using namespace gpuperf;
+
+namespace {
+
+/// Cache-file layout (all integers little-endian):
+///   "GPDB" | u32 version | u32 entry count
+///   then per entry: u32 key length | key bytes | u64 value bits (double)
+constexpr uint32_t CacheMagic = 0x42445047; // "GPDB"
+constexpr uint32_t CacheVersion = 1;
+
+/// Sanity caps, same stance as Module::deserialize: any structurally
+/// impossible size means corruption, and we reject before allocating.
+constexpr uint32_t MaxCacheEntries = 1u << 20;
+constexpr uint32_t MaxKeyBytes = 1u << 12;
+
+void appendU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void appendU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+/// Bounds-checked little-endian cursor over the raw file bytes.
+class CacheReader {
+public:
+  explicit CacheReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool readU32(uint32_t &V) {
+    if (Pos + 4 > Bytes.size())
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Bytes[Pos++]) << (8 * I);
+    return true;
+  }
+  bool readU64(uint64_t &V) {
+    if (Pos + 8 > Bytes.size())
+      return false;
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Bytes[Pos++]) << (8 * I);
+    return true;
+  }
+  bool readBytes(std::string &S, uint32_t N) {
+    if (Pos + N > Bytes.size())
+      return false;
+    S.assign(reinterpret_cast<const char *>(Bytes.data() + Pos), N);
+    Pos += N;
+    return true;
+  }
+  bool atEnd() const { return Pos == Bytes.size(); }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t Pos = 0;
+};
+
+/// Parses a cache file into a key->value map. Every failure names the
+/// structural check that fired so a truncated or bit-flipped file is
+/// diagnosable rather than silently half-loaded.
+Expected<std::map<std::string, double>>
+parseCacheFile(const std::string &Path) {
+  using Result = Expected<std::map<std::string, double>>;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Result::error("cannot open perf cache '" + Path + "'");
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+
+  CacheReader R(Bytes);
+  uint32_t Magic = 0, Version = 0, Count = 0;
+  if (!R.readU32(Magic) || Magic != CacheMagic)
+    return Result::error("perf cache: bad magic (not a GPDB file)");
+  if (!R.readU32(Version) || Version != CacheVersion)
+    return Result::error(
+        formatString("perf cache: unsupported version %u", Version));
+  if (!R.readU32(Count))
+    return Result::error("perf cache: truncated header");
+  if (Count > MaxCacheEntries)
+    return Result::error(
+        formatString("perf cache: entry count %u exceeds cap", Count));
+
+  std::map<std::string, double> Entries;
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t KeyLen = 0;
+    std::string Key;
+    uint64_t Bits = 0;
+    if (!R.readU32(KeyLen))
+      return Result::error("perf cache: truncated entry header");
+    if (KeyLen == 0 || KeyLen > MaxKeyBytes)
+      return Result::error(
+          formatString("perf cache: key length %u exceeds cap", KeyLen));
+    if (!R.readBytes(Key, KeyLen) || !R.readU64(Bits))
+      return Result::error("perf cache: truncated entry");
+    double Value;
+    std::memcpy(&Value, &Bits, 8);
+    Entries[Key] = Value;
+  }
+  if (!R.atEnd())
+    return Result::error("perf cache: trailing bytes after last entry");
+  return Entries;
+}
+
+Status writeCacheFile(const std::string &Path,
+                      const std::map<std::string, double> &Entries) {
+  assert(Entries.size() <= MaxCacheEntries && "cache grew past its cap");
+  std::vector<uint8_t> Out;
+  appendU32(Out, CacheMagic);
+  appendU32(Out, CacheVersion);
+  appendU32(Out, static_cast<uint32_t>(Entries.size()));
+  for (const auto &[Key, Value] : Entries) {
+    appendU32(Out, static_cast<uint32_t>(Key.size()));
+    Out.insert(Out.end(), Key.begin(), Key.end());
+    uint64_t Bits;
+    std::memcpy(&Bits, &Value, 8);
+    appendU64(Out, Bits);
+  }
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  if (!OS)
+    return Status::error("cannot write perf cache '" + Path + "'");
+  OS.write(reinterpret_cast<const char *>(Out.data()),
+           static_cast<std::streamsize>(Out.size()));
+  if (!OS)
+    return Status::error("short write to perf cache '" + Path + "'");
+  return Status::success();
+}
+
+} // namespace
+
+PerfDatabase::PerfDatabase(const MachineDesc &M, std::string CachePath)
+    : M(M), CachePath(std::move(CachePath)) {
+  // A missing file is the normal cold-cache case; a corrupt one is
+  // treated the same (it will be rewritten wholesale on save). Callers
+  // that need to distinguish use load() directly.
+  if (!this->CachePath.empty())
+    (void)load(this->CachePath);
+}
+
+PerfDatabase::~PerfDatabase() {
+  bool NeedSave;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    NeedSave = Dirty && !CachePath.empty();
+  }
+  if (!NeedSave)
+    return;
+  if (Status S = save(CachePath); S.failed())
+    std::fprintf(stderr, "warning: %s\n", S.message().c_str());
+}
+
+uint64_t PerfDatabase::kernelHash(const Kernel &K, GpuGeneration Arch) {
+  Module Mod;
+  Mod.Arch = Arch;
+  Mod.Kernels.push_back(K);
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  for (uint8_t B : Mod.serialize()) {
+    Hash ^= B;
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+std::string PerfDatabase::defaultCachePath() {
+  if (const char *Env = std::getenv("GPUPERF_PERF_CACHE"))
+    return Env;
+  return "gpuperf_perf_cache.gpdb";
+}
+
+std::string PerfDatabase::keyFor(const Kernel &K,
+                                 const MeasureConfig &Cfg) const {
+  // The code hash covers the instruction stream, register count, and
+  // shared size, so generator or encoder changes invalidate exactly the
+  // entries they affect; the name keeps keys human-readable in dumps.
+  return formatString("%s|%s|tb%d|bpsm%d|%016llx", M.Name.c_str(),
+                      K.Name.c_str(), Cfg.ThreadsPerBlock, Cfg.BlocksPerSM,
+                      static_cast<unsigned long long>(
+                          kernelHash(K, M.Generation)));
+}
+
+double PerfDatabase::measureKernel(const Kernel &K,
+                                   const MeasureConfig &Cfg) {
+  std::string Key = keyFor(K, Cfg);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (auto It = Store.find(Key); It != Store.end()) {
+      ++Hits;
+      return It->second;
+    }
+    ++Misses;
+  }
+  // Measure outside the lock so concurrent sweep threads overlap their
+  // simulations. Two threads racing on one key both measure it; the
+  // simulator is deterministic, so the duplicated work is harmless.
+  double T = measureThroughput(M, K, Cfg);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Store[Key] = T;
+  Dirty = true;
+  return T;
+}
 
 double PerfDatabase::mixThroughput(int FfmaPerLds, MemWidth Width,
                                    bool Dependent, int ActiveThreads,
                                    int DepChains, bool Pipelined) {
   assert(ActiveThreads >= WarpSize && "need at least one warp");
-  auto Key = std::make_tuple(FfmaPerLds, static_cast<int>(Width),
-                             Dependent, ActiveThreads, DepChains,
-                             Pipelined);
-  if (auto It = Cache.find(Key); It != Cache.end())
-    return It->second;
 
   MixBenchParams P;
   P.FfmaPerLds = FfmaPerLds;
@@ -38,9 +240,7 @@ double PerfDatabase::mixThroughput(int FfmaPerLds, MemWidth Width,
         (ActiveThreads + M.MaxThreadsPerBlock - 1) / M.MaxThreadsPerBlock;
     Cfg.ThreadsPerBlock = ActiveThreads / Cfg.BlocksPerSM;
   }
-  double T = measureThroughput(M, K, Cfg);
-  Cache[Key] = T;
-  return T;
+  return measureKernel(K, Cfg);
 }
 
 double PerfDatabase::mixThroughputSaturated(int FfmaPerLds, MemWidth Width,
@@ -54,4 +254,43 @@ double PerfDatabase::mixThroughputSaturated(int FfmaPerLds, MemWidth Width,
 
 double PerfDatabase::ffmaPeak() {
   return mixThroughputSaturated(-1, MemWidth::B64, false);
+}
+
+size_t PerfDatabase::hits() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Hits;
+}
+
+size_t PerfDatabase::misses() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Misses;
+}
+
+size_t PerfDatabase::entryCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Store.size();
+}
+
+Status PerfDatabase::load(const std::string &Path) {
+  auto Entries = parseCacheFile(Path);
+  if (!Entries)
+    return Entries.takeStatus();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Key, Value] : *Entries)
+    Store.insert({Key, Value}); // Freshly-measured values win.
+  return Status::success();
+}
+
+Status PerfDatabase::save(const std::string &Path) const {
+  std::map<std::string, double> Merged;
+  // Keep entries another process appended since our load -- unless we
+  // re-measured the same key, in which case ours is at least as fresh.
+  if (auto OnDisk = parseCacheFile(Path))
+    Merged = std::move(*OnDisk);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &[Key, Value] : Store)
+      Merged[Key] = Value;
+  }
+  return writeCacheFile(Path, Merged);
 }

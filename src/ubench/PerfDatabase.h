@@ -12,6 +12,19 @@
 /// is that database; the model library queries it and the benchmarks print
 /// from it.
 ///
+/// Measurements can be *persistent*: constructed with a cache path, the
+/// database loads previously-measured entries and writes new ones back on
+/// destruction, so re-running a bench skips every microbenchmark whose
+/// inputs are unchanged. Entries are keyed by (machine name, kernel name,
+/// measurement shape, FNV-1a hash of the generated binary), so any change
+/// to a generator, the ISA encoding, or the notation tuner changes the
+/// hash and invalidates exactly the affected entries.
+///
+/// All entry points are thread-safe, so parallel bench sweeps can share
+/// one database; a key measured concurrently by two threads is measured
+/// twice (the simulator is deterministic, so both arrive at the same
+/// value) rather than serializing the sweep on a measurement lock.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GPUPERF_UBENCH_PERFDATABASE_H
@@ -20,14 +33,27 @@
 #include "ubench/MixBench.h"
 
 #include <map>
-#include <tuple>
+#include <mutex>
 
 namespace gpuperf {
 
 /// Lazily-measured throughput database for one machine.
 class PerfDatabase {
 public:
+  /// In-memory only: entries live for the lifetime of the object.
   explicit PerfDatabase(const MachineDesc &M) : M(M) {}
+
+  /// Persistent: loads \p CachePath if it exists (a corrupt or
+  /// unreadable file is ignored and will be overwritten), and saves on
+  /// destruction when new measurements were made. An empty path means
+  /// in-memory only, so callers can thread a --no-cache flag through as
+  /// "".
+  PerfDatabase(const MachineDesc &M, std::string CachePath);
+
+  ~PerfDatabase();
+
+  PerfDatabase(const PerfDatabase &) = delete;
+  PerfDatabase &operator=(const PerfDatabase &) = delete;
 
   /// Thread-instruction throughput of the FFMA:LDS.X mix benchmark
   /// (Figures 2 and 4) at the given active-thread count per SM.
@@ -46,12 +72,51 @@ public:
   /// Pure-FFMA thread-instruction throughput (conflict-free operands).
   double ffmaPeak();
 
+  /// Memoized (and, with a cache path, persistent) throughput of an
+  /// arbitrary generated kernel under \p Cfg -- the general entry point
+  /// the mix helpers above are built on, also used directly by benches
+  /// that generate their own kernels (Figure 2, Table 2 styles).
+  double measureKernel(const Kernel &K, const MeasureConfig &Cfg);
+
+  /// Cache-effectiveness counters (lifetime of this object).
+  size_t hits() const;
+  size_t misses() const;
+  /// Number of entries currently held (loaded + measured).
+  size_t entryCount() const;
+
+  /// Merges entries from \p Path into this database. Fails (leaving the
+  /// database unchanged) on missing files, bad magic/version, or a
+  /// structurally corrupt body -- the same sanity-cap stance as
+  /// Module::deserialize.
+  Status load(const std::string &Path);
+
+  /// Writes all entries to \p Path, first merging entries already in the
+  /// file (concurrently-written entries from another process are kept
+  /// unless this database re-measured the same key).
+  Status save(const std::string &Path) const;
+
+  /// FNV-1a hash of the kernel exactly as it would reach the simulator
+  /// (serialized through the binary module format for \p Arch).
+  static uint64_t kernelHash(const Kernel &K, GpuGeneration Arch);
+
+  /// Cache file used when benches are not given an explicit path: the
+  /// GPUPERF_PERF_CACHE environment variable, or
+  /// "gpuperf_perf_cache.gpdb" in the working directory.
+  static std::string defaultCachePath();
+
   /// The machine this database measures.
   const MachineDesc &machine() const { return M; }
 
 private:
+  std::string keyFor(const Kernel &K, const MeasureConfig &Cfg) const;
+
   const MachineDesc &M;
-  std::map<std::tuple<int, int, bool, int, int, bool>, double> Cache;
+  std::string CachePath;
+
+  mutable std::mutex Mutex;
+  std::map<std::string, double> Store; ///< Guarded by Mutex.
+  size_t Hits = 0, Misses = 0;         ///< Guarded by Mutex.
+  bool Dirty = false;                  ///< Guarded by Mutex.
 };
 
 } // namespace gpuperf

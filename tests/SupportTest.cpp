@@ -9,10 +9,14 @@
 #include "support/MathUtils.h"
 #include "support/Rng.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 using namespace gpuperf;
 
@@ -172,4 +176,60 @@ TEST(Table, RendersAlignedColumns) {
 TEST(Table, EmptyTable) {
   Table T;
   EXPECT_EQ(T.render(), "");
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool / parallelFor
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  for (int Jobs : {1, 2, 8}) {
+    std::vector<std::atomic<int>> Counts(257);
+    parallelFor(Jobs, Counts.size(),
+                [&](size_t I) { Counts[I].fetch_add(1); });
+    for (size_t I = 0; I < Counts.size(); ++I)
+      EXPECT_EQ(Counts[I].load(), 1) << "index " << I << " jobs " << Jobs;
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleIteration) {
+  int Calls = 0;
+  parallelFor(8, 0, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  parallelFor(8, 1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(ParallelFor, MoreJobsThanWork) {
+  std::atomic<int> Sum{0};
+  parallelFor(64, 3, [&](size_t I) { Sum.fetch_add(int(I) + 1); });
+  EXPECT_EQ(Sum.load(), 6);
+}
+
+TEST(ParallelFor, NestedDoesNotDeadlock) {
+  // An inner parallelFor on the same (shared) pool must complete even
+  // when every worker is already busy with the outer loop: completion is
+  // tracked per-iteration and the caller always participates.
+  std::atomic<int> Total{0};
+  parallelFor(4, 4, [&](size_t) {
+    parallelFor(4, 8, [&](size_t) { Total.fetch_add(1); });
+  });
+  EXPECT_EQ(Total.load(), 32);
+}
+
+TEST(ParallelFor, SerialJobsRunOnCallingThread) {
+  const auto Caller = std::this_thread::get_id();
+  parallelFor(1, 16, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+  });
+}
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_GE(resolveJobs(0), 1);
+  EXPECT_GE(resolveJobs(-3), 1);
+  EXPECT_EQ(resolveJobs(1), 1);
+  EXPECT_EQ(resolveJobs(7), 7);
 }

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Configure, build and run the whole test suite under AddressSanitizer
-# and UndefinedBehaviorSanitizer. The guarded-execution contract ("any
-# input runs, is rejected, or traps -- never crashes") is only as strong
-# as the memory-safety checking behind it, so the fuzz and
-# fault-injection suites should be exercised under sanitizers whenever
-# the executor, simulator or decoders change.
+# Configure, build and run the test suite under sanitizers: first the
+# whole suite under AddressSanitizer + UndefinedBehaviorSanitizer, then
+# the threaded suites under ThreadSanitizer. The guarded-execution
+# contract ("any input runs, is rejected, or traps -- never crashes") is
+# only as strong as the memory-safety checking behind it, so the fuzz
+# and fault-injection suites should be exercised under sanitizers
+# whenever the executor, simulator or decoders change; the parallel
+# launch path (LaunchConfig::Jobs) additionally needs TSan whenever the
+# thread pool, overlay merge, or PerfDatabase locking changes.
 #
 # Usage: tools/check_sanitizers.sh [build-dir] [ctest args...]
-#   build-dir defaults to <repo>/build-sanitize.
+#   build-dir defaults to <repo>/build-sanitize; the TSan build goes to
+#   <build-dir>-tsan.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,3 +27,16 @@ cmake --build "$BUILD" -j"$(nproc)"
 ASAN_OPTIONS=halt_on_error=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ctest --test-dir "$BUILD" --output-on-failure "$@"
+
+# ThreadSanitizer pass: TSan is mutually exclusive with ASan, so it
+# needs its own build tree. Only the suites that spawn threads are run
+# -- the serial suites cannot race and TSan slows them ~10x.
+TSAN_BUILD="$BUILD-tsan"
+cmake -S "$ROOT" -B "$TSAN_BUILD" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGPUPERF_TSAN=ON
+cmake --build "$TSAN_BUILD" -j"$(nproc)"
+
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+    -R '(support|parallel_sim|perf_cache)_test' "$@"

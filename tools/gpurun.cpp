@@ -8,7 +8,7 @@
 //
 //   gpurun module.gpub [kernel] [--machine GTX580|GTX680]
 //          [--grid X[,Y]] [--block N] [--param word]... [--mem bytes]
-//          [--watchdog cycles]
+//          [--watchdog cycles] [--jobs N]
 //
 // Parameters are 32-bit words loaded into the constant bank (LDC);
 // --mem reserves a global allocation whose base address is appended as
@@ -33,11 +33,15 @@ static int usage() {
       stderr,
       "usage: gpurun module.gpub [kernel] [--machine GTX580|GTX680]\n"
       "              [--grid X[,Y]] [--block N] [--param word]...\n"
-      "              [--mem bytes] [--watchdog cycles]\n"
+      "              [--mem bytes] [--watchdog cycles] [--jobs N]\n"
       "\n"
       "  --watchdog cycles   per-wave cycle budget before the launch\n"
       "                      fails with a WATCHDOG_TIMEOUT trap\n"
       "                      (default: derived from code size and warps)\n"
+      "  --jobs N            threads simulating SMs concurrently; the\n"
+      "                      result is bit-identical for every N\n"
+      "                      (default: one per hardware thread; 1 =\n"
+      "                      serial)\n"
       "\n"
       "exit codes: 0 ok, 1 load/launch error, 2 usage, 3 runtime trap\n");
   return 2;
@@ -50,6 +54,7 @@ int main(int Argc, char **Argv) {
   LaunchConfig Config;
   Config.Dims.BlockX = 256;
   Config.Dims.GridX = 1;
+  Config.Jobs = 0; // The CLI defaults to one job per hardware thread.
   size_t MemBytes = 0;
 
   for (int I = 1; I < Argc; ++I) {
@@ -78,6 +83,8 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "gpurun: --watchdog expects a cycle count\n");
         return 2;
       }
+    } else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
+      Config.Jobs = std::atoi(Argv[++I]);
     } else if (Argv[I][0] == '-') {
       return usage();
     } else if (!Input) {

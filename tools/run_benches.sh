@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs every paper bench and collects per-bench metrics: text output plus
+# a BENCH_sim.json record per bench (simulated cycles, wall seconds,
+# sim-cycles/sec, job count) emitted by BenchRun's --json flag. All
+# benches share one persistent PerfDatabase cache inside the output
+# directory, so the second run of the suite (or a later bench reusing an
+# earlier bench's microbenchmarks) skips re-simulation.
+#
+# Usage: tools/run_benches.sh [build-dir] [out-dir]
+#   build-dir defaults to <repo>/build, out-dir to <build-dir>/bench_out.
+# Environment:
+#   JOBS   worker threads per bench (default 0 = hardware concurrency)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="${2:-$BUILD/bench_out}"
+JOBS="${JOBS:-0}"
+
+BENCHES=(
+  table1_architecture
+  table2_math_throughput
+  fig2_ffma_lds_mix
+  fig3_register_blocking
+  fig4_active_threads
+  fig5_sgemm_variants
+  fig6_sgemm_nn_fermi
+  fig7_sgemm_nn_kepler
+  fig8_register_conflicts
+  fig9_register_allocation
+  upper_bound_analysis
+  ablation_optimizations
+  k20x_projection
+  model_validation
+  issue_headroom_generations
+)
+
+mkdir -p "$OUT"
+CACHE="$OUT/perf_cache.gpdb"
+
+for BENCH in "${BENCHES[@]}"; do
+  BIN="$BUILD/bench/$BENCH"
+  if [ ! -x "$BIN" ]; then
+    echo "skip: $BENCH (not built)" >&2
+    continue
+  fi
+  echo "== $BENCH" >&2
+  "$BIN" --jobs "$JOBS" --cache "$CACHE" \
+    --json "$OUT/${BENCH}_sim.json" > "$OUT/$BENCH.txt"
+done
+
+echo >&2
+echo "metrics ($OUT/*_sim.json):" >&2
+cat "$OUT"/*_sim.json
