@@ -17,7 +17,9 @@
 #define GPUPERF_BENCH_BENCHUTIL_H
 
 #include "sim/SMSimulator.h"
+#include "support/Args.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "ubench/PerfDatabase.h"
@@ -49,7 +51,8 @@ inline void benchPrint(const std::string &Text) {
 ///   --jobs N     worker threads for sweeps/launches (0 = one per
 ///                hardware thread, the default; 1 = fully serial)
 ///   --json PATH  write {"bench","jobs","sim_cycles","wall_seconds",
-///                "sim_cycles_per_sec"} to PATH on exit
+///                "sim_cycles_per_sec","issue_slots":{per-cause
+///                slot counts over the whole run}} to PATH on exit
 ///   --cache PATH persistent PerfDatabase file (default:
 ///                PerfDatabase::defaultCachePath())
 ///   --no-cache   in-memory PerfDatabase only; force remeasurement
@@ -59,7 +62,8 @@ public:
       : Name(std::move(BenchName)),
         CachePath(PerfDatabase::defaultCachePath()),
         Start(std::chrono::steady_clock::now()),
-        StartCycles(totalSimulatedCycles()) {
+        StartCycles(totalSimulatedCycles()),
+        StartBreakdown(totalIssueSlotBreakdown()) {
     for (int I = 1; I < Argc; ++I) {
       std::string Arg = Argv[I];
       auto needValue = [&]() -> const char * {
@@ -70,9 +74,15 @@ public:
         }
         return Argv[++I];
       };
-      if (Arg == "--jobs")
-        Jobs = std::atoi(needValue());
-      else if (Arg == "--json")
+      if (Arg == "--jobs") {
+        auto N = parseInteger(needValue(), 0, 65536);
+        if (!N) {
+          std::fprintf(stderr, "%s: --jobs: %s\n", Name.c_str(),
+                       N.message().c_str());
+          std::exit(2);
+        }
+        Jobs = static_cast<int>(*N);
+      } else if (Arg == "--json")
         JsonPath = needValue();
       else if (Arg == "--cache")
         CachePath = needValue();
@@ -96,18 +106,33 @@ public:
                       std::chrono::steady_clock::now() - Start)
                       .count();
     uint64_t Cycles = totalSimulatedCycles() - StartCycles;
+    StallBreakdown End = totalIssueSlotBreakdown();
+    JsonWriter W;
+    W.beginObject();
+    W.kv("bench", Name);
+    W.kv("jobs", resolveJobs(Jobs));
+    W.kv("sim_cycles", Cycles);
+    W.key("wall_seconds");
+    W.value(Wall, 3);
+    W.key("sim_cycles_per_sec");
+    W.value(Wall > 0 ? Cycles / Wall : 0.0, 0);
+    // Per-cause issue-slot totals over everything this process simulated
+    // during the run -- the same counters gpurun --metrics reports for a
+    // single launch.
+    W.key("issue_slots");
+    W.beginObject();
+    for (size_t I = 0; I < NumSlotUses; ++I)
+      W.kv(slotUseName(static_cast<SlotUse>(I)),
+           End.Slots[I] - StartBreakdown.Slots[I]);
+    W.endObject();
+    W.endObject();
     FILE *F = std::fopen(JsonPath.c_str(), "w");
     if (!F) {
       std::fprintf(stderr, "%s: cannot write '%s'\n", Name.c_str(),
                    JsonPath.c_str());
       return;
     }
-    std::fprintf(F,
-                 "{\"bench\":\"%s\",\"jobs\":%d,\"sim_cycles\":%llu,"
-                 "\"wall_seconds\":%.3f,\"sim_cycles_per_sec\":%.0f}\n",
-                 Name.c_str(), resolveJobs(Jobs),
-                 static_cast<unsigned long long>(Cycles), Wall,
-                 Wall > 0 ? Cycles / Wall : 0.0);
+    std::fprintf(F, "%s\n", W.str().c_str());
     std::fclose(F);
   }
 
@@ -133,7 +158,37 @@ private:
   int Jobs = 0; ///< 0 = one worker per hardware thread.
   std::chrono::steady_clock::time_point Start;
   uint64_t StartCycles;
+  StallBreakdown StartBreakdown;
 };
+
+/// Prints the per-cause issue-slot breakdown of \p S as a table plus the
+/// accounting identity it satisfies: every simulated cycle each of the
+/// machine's warp schedulers owned exactly one slot, so the per-cause
+/// counts sum to aggregate SM-cycles x schedulers. This is the bench-side
+/// rendering of the same counters gpurun --metrics prints.
+inline void benchIssueSlotReport(const MachineDesc &M, const SimStats &S) {
+  std::printf("issue_slot_report\n");
+  uint64_t Total = S.Breakdown.total();
+  Table T;
+  T.setHeader({"cause", "slots", "share"});
+  for (size_t I = 0; I < NumSlotUses; ++I) {
+    uint64_t N = S.Breakdown.Slots[I];
+    T.addRow({slotUseName(static_cast<SlotUse>(I)),
+              formatString("%llu", static_cast<unsigned long long>(N)),
+              formatString("%5.1f%%",
+                           Total ? 100.0 * N / Total : 0.0)});
+  }
+  benchPrint(T.render());
+  int Scheds = M.WarpSchedulersPerSM > 1 ? M.WarpSchedulersPerSM : 1;
+  std::printf("total %llu slots = %llu aggregate SM-cycles x %d "
+              "scheduler%s%s\n",
+              static_cast<unsigned long long>(Total),
+              static_cast<unsigned long long>(S.perSMCycles()), Scheds,
+              Scheds == 1 ? "" : "s",
+              Total == S.perSMCycles() * static_cast<uint64_t>(Scheds)
+                  ? ""
+                  : "  ** INVARIANT VIOLATION **");
+}
 
 /// Evaluates \p Point(0..N-1) across up to \p Jobs threads and returns
 /// the results indexed by point -- output is identical for every Jobs

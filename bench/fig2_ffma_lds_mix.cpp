@@ -9,6 +9,8 @@
 
 #include "bench/BenchUtil.h"
 
+#include "ubench/MixBench.h"
+
 using namespace gpuperf;
 
 static void sweep(const BenchRun &Run, const MachineDesc &M) {
@@ -37,6 +39,18 @@ static void sweep(const BenchRun &Run, const MachineDesc &M) {
   for (auto &Row : Rows)
     T.addRow(Row);
   benchPrint(T.render());
+  benchPrint("\n");
+
+  // Where the issue slots go at the SGEMM-like operating point (6 FFMA
+  // per LDS.64): the mix that Section 4's upper-bound argument reasons
+  // about. Re-measured uncached because the breakdown needs live stats.
+  MixBenchParams P;
+  P.FfmaPerLds = 6;
+  P.Width = MemWidth::B64;
+  Kernel K = generateMixBench(M, P);
+  SimStats S;
+  measureThroughput(M, K, MeasureConfig(), &S);
+  benchIssueSlotReport(M, S);
   benchPrint("\n");
 }
 

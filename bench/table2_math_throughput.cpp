@@ -48,5 +48,15 @@ int main(int Argc, char **Argv) {
       "\nFFMA RA, RB, RB, RA (repeated source, Section 3.3): paper ~178, "
       "measured %.1f\n",
       DB.measureKernel(Rep, Cfg)));
+
+  // Where the slots went for the worst pattern of the table (FFMA with a
+  // 3-way bank conflict): the lost issue bandwidth shows up as
+  // bank_conflict slots, which is the paper's Table 2 explanation made
+  // directly observable.
+  benchPrint("\n");
+  Kernel Conflicted = generateOpPatternBench(M, makeFFMA(0, 1, 3, 9));
+  SimStats S;
+  measureThroughput(M, Conflicted, Cfg, &S);
+  benchIssueSlotReport(M, S);
   return 0;
 }

@@ -89,6 +89,13 @@ static void analyzeMachine(const BenchRun &Run, const MachineDesc &M,
         "Paper: achieved ~%.1f%% of peak (~%s of its bound).\n",
         PaperAchievedPercent,
         M.Generation == GpuGeneration::Fermi ? "90%" : "77.3%"));
+
+    // The gap between achieved and bound, itemized: the per-cause
+    // issue-slot breakdown of the measured SGEMM wave. The paper argues
+    // the bound from issue bandwidth; this shows which causes consumed
+    // the slots the bound says are available.
+    benchPrint("\n");
+    benchIssueSlotReport(M, R->Launch.Stats);
   }
   benchPrint("\n");
 }

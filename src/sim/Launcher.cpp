@@ -20,6 +20,8 @@ namespace {
 struct SMOutcome {
   SimStats Stats;
   GlobalWriteOverlay Overlay;
+  std::vector<TraceEvent> TraceEvents;
+  uint64_t TraceDropped = 0;
   int Waves = 0;
   bool Failed = false;
   std::string Error;
@@ -29,24 +31,54 @@ struct SMOutcome {
 /// Runs all waves of one SM's block list. Used by both the serial and
 /// the parallel path so per-SM behaviour is the same code by
 /// construction; only where the writes land differs (direct vs overlay).
+/// \p TraceRing enables event recording when non-zero (ring capacity per
+/// track); the events land in Out.TraceEvents with SM still unset -- the
+/// caller stamps the SM index when merging, so the parallel path cannot
+/// depend on which worker simulated which SM.
 void runSMWaves(const MachineDesc &M, const Kernel &K, Executor &Exec,
                 const LaunchDims &Dims, const std::vector<int> &Mine,
-                int ActiveBlocks, uint64_t Watchdog, SMOutcome &Out) {
+                int ActiveBlocks, uint64_t Watchdog, size_t TraceRing,
+                SMOutcome &Out) {
+  TraceRecorder Rec(TraceRing ? TraceRing : 1);
   for (size_t First = 0; First < Mine.size();
        First += static_cast<size_t>(ActiveBlocks)) {
     size_t Last =
         std::min(Mine.size(), First + static_cast<size_t>(ActiveBlocks));
     std::vector<int> WaveBlocks(Mine.begin() + First, Mine.begin() + Last);
-    auto Wave =
-        simulateWave(M, K, Exec, Dims, WaveBlocks, Watchdog, &Out.Trap);
+    if (TraceRing)
+      Rec.beginWave(WaveBlocks.size() *
+                        static_cast<size_t>(Dims.warpsPerBlock()),
+                    std::max(1, M.WarpSchedulersPerSM), Out.Stats.Cycles);
+    auto Wave = simulateWave(M, K, Exec, Dims, WaveBlocks, Watchdog,
+                             &Out.Trap, TraceRing ? &Rec : nullptr);
+    if (TraceRing)
+      Rec.endWave();
     if (!Wave) {
       Out.Failed = true;
       Out.Error = Wave.takeError();
-      return;
+      break;
     }
     Out.Stats.addSequential(*Wave);
     ++Out.Waves;
   }
+  if (TraceRing) {
+    Out.TraceEvents = Rec.take();
+    Out.TraceDropped = Rec.dropped();
+  }
+}
+
+/// Appends one SM's trace events to the launch-wide trace, stamping the
+/// SM index. Called in SM index order on both the serial and the
+/// parallel path so the trace is Jobs-invariant.
+void mergeTrace(SimTrace *Trace, int SMIndex, SMOutcome &Out) {
+  if (!Trace)
+    return;
+  for (TraceEvent &E : Out.TraceEvents) {
+    E.SM = static_cast<int16_t>(SMIndex);
+    Trace->Events.push_back(E);
+  }
+  Trace->DroppedEvents += Out.TraceDropped;
+  Out.TraceEvents.clear();
 }
 
 } // namespace
@@ -114,6 +146,9 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
       divideCeil(static_cast<uint64_t>(NumBlocks),
                  static_cast<uint64_t>(BlocksPerWaveChip)));
 
+  const size_t TraceRing =
+      Config.Trace ? std::max<size_t>(1, Config.Trace->RingCapacity) : 0;
+
   if (Config.Mode == SimMode::ProjectOneWave) {
     // Simulate the first wave of SM 0 and extrapolate. SM 0 gets blocks
     // 0..N-1 of the wave; for SGEMM-style kernels with data-independent
@@ -121,16 +156,22 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
     std::vector<int> BlockIds;
     for (int B = 0; B < std::min(Occ.ActiveBlocks, NumBlocks); ++B)
       BlockIds.push_back(B);
-    auto Wave = simulateWave(M, K, Exec, Dims, BlockIds, Watchdog, TrapOut);
-    if (!Wave)
-      return ER::error(Wave.message());
-    Result.Stats = *Wave;
+    SMOutcome Out;
+    runSMWaves(M, K, Exec, Dims, BlockIds, Occ.ActiveBlocks, Watchdog,
+               TraceRing, Out);
+    mergeTrace(Config.Trace, 0, Out);
+    if (Out.Failed) {
+      if (TrapOut && Out.Trap.valid())
+        *TrapOut = Out.Trap;
+      return ER::error(Out.Error);
+    }
+    Result.Stats = Out.Stats;
     Result.WavesSimulated = 1;
     // The last wave may be partial; count it proportionally.
     double FullWaves =
         static_cast<double>(NumBlocks) / BlocksPerWaveChip;
     Result.TotalCycles =
-        static_cast<double>(Wave->Cycles) * std::max(1.0, FullWaves);
+        static_cast<double>(Out.Stats.Cycles) * std::max(1.0, FullWaves);
     return Result;
   }
 
@@ -153,9 +194,13 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
   if (Jobs <= 1 || PerSMBlocks.size() <= 1) {
     // Serial path: SMs share the executor and write global memory
     // directly, one SM after the other.
-    for (const std::vector<int> &Mine : PerSMBlocks) {
+    for (size_t Idx = 0; Idx < PerSMBlocks.size(); ++Idx) {
       SMOutcome Out;
-      runSMWaves(M, K, Exec, Dims, Mine, Occ.ActiveBlocks, Watchdog, Out);
+      runSMWaves(M, K, Exec, Dims, PerSMBlocks[Idx], Occ.ActiveBlocks,
+                 Watchdog, TraceRing, Out);
+      // Merge the trace before checking for failure: the serial path
+      // keeps whatever the trapping SM recorded up to the fault.
+      mergeTrace(Config.Trace, static_cast<int>(Idx), Out);
       if (Out.Failed) {
         if (TrapOut && Out.Trap.valid())
           *TrapOut = Out.Trap;
@@ -176,14 +221,17 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
       Executor SMExec(M, GlobalMemoryView(Global, Out.Overlay),
                       Config.Params, Dims);
       runSMWaves(M, K, SMExec, Dims, PerSMBlocks[Idx], Occ.ActiveBlocks,
-                 Watchdog, Out);
+                 Watchdog, TraceRing, Out);
     });
-    for (SMOutcome &Out : Outcomes) {
+    for (size_t Idx = 0; Idx < Outcomes.size(); ++Idx) {
+      SMOutcome &Out = Outcomes[Idx];
       // Apply before checking for failure: when the serial path stops at
       // SM k's trap, the writes of SMs 0..k-1 and SM k's partial wave
       // are already in global memory; later SMs never ran, so their
-      // overlays are discarded by returning here.
+      // overlays are discarded by returning here. The trace follows the
+      // same rule, so it too is bit-identical to the serial path.
       Out.Overlay.applyTo(Global);
+      mergeTrace(Config.Trace, static_cast<int>(Idx), Out);
       if (Out.Failed) {
         if (TrapOut && Out.Trap.valid())
           *TrapOut = Out.Trap;

@@ -57,6 +57,13 @@ struct LaunchConfig {
   /// Like the rest of the launch API this assumes the CUDA contract that
   /// blocks of one launch do not communicate through global memory.
   int Jobs = 1;
+  /// When non-null, the launch records a per-warp issue / per-scheduler
+  /// stall timeline into *Trace (ring-buffered per track, capacity
+  /// Trace->RingCapacity; see sim/Trace.h). Events are merged in SM
+  /// index order, so the trace -- like everything else -- is
+  /// bit-identical for every Jobs value. Null (the default) costs one
+  /// untaken branch per issue: tracing is zero-overhead when off.
+  SimTrace *Trace = nullptr;
 };
 
 /// Result of a (possibly projected) launch.

@@ -34,12 +34,29 @@ struct BlockState {
   int ArrivedAtBarrier = 0;
 };
 
+/// Why one warp could not issue this cycle, ordered by attribution
+/// priority (higher wins when a scheduler's warps are blocked for
+/// different reasons): a warp blocked only by a busy structural pipe was
+/// otherwise ready, so the slot was genuinely lost to that structural
+/// limit -- the paper's bound story; operand waits come next; a barrier
+/// is only reported when nothing better describes the cycle.
+enum class WarpBlock : uint8_t {
+  None = 0,      ///< Not a candidate (done / no warp assigned).
+  Barrier,       ///< Waiting at BAR.SYNC.
+  NotationStall, ///< Control-notation stall count / replay stall.
+  Scoreboard,    ///< Operands not ready (RAW / load latency).
+  Port,          ///< Per-scheduler dispatch port busy.
+  MathPipe,      ///< SM-wide SP pipeline busy (pre-Kepler).
+  LdstPipe,      ///< LD/ST pipe busy (shared-memory throughput).
+  IssuePipe,     ///< Kepler SM-wide issue pipe busy.
+};
+
 class SMSim {
 public:
   SMSim(const MachineDesc &M, const Kernel &K, Executor &Exec,
         const LaunchDims &Dims, const std::vector<int> &BlockIds,
-        uint64_t WatchdogCycles)
-      : M(M), K(K), Exec(Exec), Dims(Dims),
+        uint64_t WatchdogCycles, TraceRecorder *Trace)
+      : M(M), K(K), Exec(Exec), Dims(Dims), Trace(Trace),
         Budget(WatchdogCycles == 0
                    ? MaxWaveCycles
                    : std::min(WatchdogCycles, MaxWaveCycles)) {
@@ -75,6 +92,7 @@ public:
     NumSchedulers = std::max(1, M.WarpSchedulersPerSM);
     PortFree.assign(NumSchedulers, 0.0);
     RRNext.assign(NumSchedulers, 0);
+    SchedBlocked.assign(NumSchedulers, WarpBlock::None);
   }
 
   Expected<SimStats> run(TrapInfo *TrapOut) {
@@ -107,16 +125,74 @@ private:
         ++Now;
         continue;
       }
-      ++Stats.IdleCycles;
       uint64_t Next = nextWakeCycle();
       if (Next == UINT64_MAX) {
         raiseDeadlockTrap();
         return Expected<SimStats>::error(Trap->toString());
       }
-      Now = std::max(Now + 1, Next);
+      uint64_t NewNow = std::max(Now + 1, Next);
+      // Nothing can issue before NewNow; the whole span is idle. Cycle
+      // `Now` itself was already attributed slot-by-slot inside
+      // runScheduler; the fast-forwarded cycles inherit each scheduler's
+      // reason from the cycle that proved no progress was possible.
+      Stats.IdleCycles += NewNow - Now;
+      if (uint64_t Skipped = NewNow - Now - 1)
+        for (int S = 0; S < NumSchedulers; ++S)
+          accountStall(S, SchedBlocked[S], Now + 1, Skipped);
+      Now = NewNow;
     }
     Stats.Cycles = Now;
+    Stats.AggregateCycles = Now;
     return Stats;
+  }
+
+  /// Charges \p N lost issue slots of scheduler \p Sched, starting at
+  /// cycle \p Start, to the SlotUse cause implied by \p B. Issue-pipe
+  /// losses are split: the bank-conflict debt accumulated by previously
+  /// issued math instructions is paid out first (RegBankConflict), the
+  /// remainder is raw issue width (DispatchLimit).
+  void accountStall(int Sched, WarpBlock B, uint64_t Start, uint64_t N) {
+    SlotUse Use = SlotUse::NoEligibleWarp;
+    switch (B) {
+    case WarpBlock::IssuePipe: {
+      uint64_t FromConflict =
+          std::min(N, static_cast<uint64_t>(ConflictDebt));
+      if (FromConflict > 0) {
+        ConflictDebt -= static_cast<double>(FromConflict);
+        Stats.Breakdown[SlotUse::RegBankConflict] += FromConflict;
+        if (Trace)
+          Trace->stall(Sched, Start, FromConflict,
+                       SlotUse::RegBankConflict);
+      }
+      if (N > FromConflict) {
+        Stats.Breakdown[SlotUse::DispatchLimit] += N - FromConflict;
+        if (Trace)
+          Trace->stall(Sched, Start + FromConflict, N - FromConflict,
+                       SlotUse::DispatchLimit);
+      }
+      return;
+    }
+    case WarpBlock::Port:
+    case WarpBlock::MathPipe:
+      Use = SlotUse::DispatchLimit;
+      break;
+    case WarpBlock::LdstPipe:
+      Use = SlotUse::LdsThroughput;
+      break;
+    case WarpBlock::Scoreboard:
+    case WarpBlock::NotationStall:
+      Use = SlotUse::Scoreboard;
+      break;
+    case WarpBlock::Barrier:
+      Use = SlotUse::Barrier;
+      break;
+    case WarpBlock::None:
+      Use = SlotUse::NoEligibleWarp;
+      break;
+    }
+    Stats.Breakdown[Use] += N;
+    if (Trace)
+      Trace->stall(Sched, Start, N, Use);
   }
 
   /// Precomputes, per static instruction, whether every register and
@@ -262,26 +338,34 @@ private:
     return T;
   }
 
-  bool pipesFree(const Instruction &I, int Sched) const {
+  /// First structural resource blocking \p I this cycle (checked in
+  /// dispatch-port, issue-pipe, math-pipe, LD/ST-pipe order), or None.
+  WarpBlock blockedPipe(const Instruction &I, int Sched) const {
     double Limit = static_cast<double>(Now) + 1.0;
     if (dispatchPortCycles(M, I) > 0 && PortFree[Sched] >= Limit)
-      return false;
+      return WarpBlock::Port;
     if (issuePipeCycles(M, I) > 0 && IssuePipeFree >= Limit)
-      return false;
+      return WarpBlock::IssuePipe;
     if (mathPipeCycles(M, I) > 0 && MathPipeFree >= Limit)
-      return false;
+      return WarpBlock::MathPipe;
     if (ldstPipeCycles(M, I) > 0 && LdstPipeFree >= Limit)
-      return false;
-    return true;
+      return WarpBlock::LdstPipe;
+    return WarpBlock::None;
   }
 
   /// Attempts to issue the next instruction of warp \p WarpIdx; true on
   /// success. \p AllowReplayPenalty charges the warp when its operands
-  /// are not ready despite the notation saying they should be.
-  bool tryIssue(int WarpIdx, int Sched, bool AllowReplayPenalty) {
+  /// are not ready despite the notation saying they should be. On
+  /// failure, \p Why (when non-null) receives why this warp could not
+  /// use the slot.
+  bool tryIssue(int WarpIdx, int Sched, bool AllowReplayPenalty,
+                WarpBlock *Why = nullptr) {
     WarpContext &W = Warps[WarpIdx];
-    if (W.Done || W.AtBarrier || W.StallUntil > Now)
+    if (W.Done || W.AtBarrier || W.StallUntil > Now) {
+      if (Why && !W.Done)
+        *Why = W.AtBarrier ? WarpBlock::Barrier : WarpBlock::NotationStall;
       return false;
+    }
     if (W.PC < 0 || static_cast<size_t>(W.PC) >= K.Code.size()) {
       // The warp ran off the code (bad branch target or missing EXIT).
       TrapInfo T = makeTrap(TrapKind::InvalidPC, WarpIdx, nullptr);
@@ -302,9 +386,14 @@ private:
       Trap = std::move(T);
       return true;
     }
-    if (!pipesFree(I, Sched))
+    if (WarpBlock Pipe = blockedPipe(I, Sched); Pipe != WarpBlock::None) {
+      if (Why)
+        *Why = Pipe;
       return false;
+    }
     if (!regsReady(W, I)) {
+      if (Why)
+        *Why = WarpBlock::Scoreboard;
       if (AllowReplayPenalty && M.Generation == GpuGeneration::Kepler &&
           HasNotations && !W.NoPenaltyWait) {
         // A mis-hinted instruction is dispatched and replayed: the warp
@@ -324,6 +413,7 @@ private:
   void issue(int WarpIdx, int Sched, const Instruction &I) {
     WarpContext &W = Warps[WarpIdx];
     BlockState &B = Blocks[W.BlockSlot];
+    const int PCAtIssue = W.PC;
 
     // --- Occupy pipes ------------------------------------------------------
     double NowD = static_cast<double>(Now);
@@ -333,6 +423,9 @@ private:
       if (!HasNotations)
         Pipe *= NoNotationIssueFactor;
       IssuePipeFree = std::max(IssuePipeFree, NowD) + Pipe;
+      // Bank the register-bank-conflict surcharge; lost issue-pipe slots
+      // pay it out as SlotUse::RegBankConflict (see accountStall).
+      ConflictDebt += bankConflictExtraCycles(M, I);
     }
     if (double Pipe = mathPipeCycles(M, I); Pipe > 0)
       MathPipeFree = std::max(MathPipeFree, NowD) + Pipe;
@@ -416,6 +509,9 @@ private:
     uint64_t Lanes = std::popcount(W.ActiveMask);
     Stats.ThreadInstsIssued += Lanes;
     Stats.ThreadInstsByOpcode[static_cast<size_t>(I.Op)] += Lanes;
+    if (Trace)
+      Trace->issue(WarpIdx, B.BlockIdLinear, W.WarpInBlock, Now,
+                   PCAtIssue, I.Op);
   }
 
   void releaseBarrierIfComplete(BlockState &B) {
@@ -434,23 +530,35 @@ private:
     Mine.reserve((NumWarps + NumSchedulers - 1) / NumSchedulers);
     for (int W = Sched; W < NumWarps; W += NumSchedulers)
       Mine.push_back(W);
-    if (Mine.empty())
+    if (Mine.empty()) {
+      SchedBlocked[Sched] = WarpBlock::None;
+      accountStall(Sched, WarpBlock::None, Now, 1);
       return Status::success();
+    }
 
+    // The scheduler's one issue slot this cycle: either some warp issues,
+    // or the slot is attributed to the highest-priority reason any of its
+    // warps could not (see WarpBlock's ordering).
+    WarpBlock Best = WarpBlock::None;
     int Start = RRNext[Sched] % static_cast<int>(Mine.size());
     for (int Offset = 0; Offset < static_cast<int>(Mine.size());
          ++Offset) {
       int Idx = (Start + Offset) % static_cast<int>(Mine.size());
       int WarpIdx = Mine[Idx];
       int PCBefore = Warps[WarpIdx].PC;
-      if (!tryIssue(WarpIdx, Sched, /*AllowReplayPenalty=*/true))
+      WarpBlock Why = WarpBlock::None;
+      if (!tryIssue(WarpIdx, Sched, /*AllowReplayPenalty=*/true, &Why)) {
+        Best = Why > Best ? Why : Best;
         continue;
+      }
       if (Trap)
         return Status::success();
       IssuedAny = true;
+      ++Stats.Breakdown[SlotUse::Issued];
       RRNext[Sched] = Idx + 1;
       // Kepler dual issue: a second, independent instruction from the
-      // same warp when the notation permits it.
+      // same warp when the notation permits it. The pair shares the
+      // slot already counted as Issued.
       if (M.Generation == GpuGeneration::Kepler && HasNotations) {
         ControlField F = fieldAt(PCBefore);
         WarpContext &W = Warps[WarpIdx];
@@ -465,6 +573,8 @@ private:
       }
       return Status::success();
     }
+    SchedBlocked[Sched] = Best;
+    accountStall(Sched, Best, Now, 1);
     return Status::success();
   }
 
@@ -495,6 +605,7 @@ private:
   const Kernel &K;
   Executor &Exec;
   const LaunchDims &Dims;
+  TraceRecorder *Trace;
   const uint64_t Budget;
 
   std::vector<BlockState> Blocks;
@@ -510,6 +621,12 @@ private:
   double MemBWFree = 0.0;
   std::vector<double> PortFree;
   std::vector<int> RRNext;
+  /// Each scheduler's block reason in the most recent no-issue cycle
+  /// (reused to attribute fast-forwarded idle spans).
+  std::vector<WarpBlock> SchedBlocked;
+  /// Outstanding bank-conflict surcharge cycles not yet paid out as lost
+  /// slots (see accountStall).
+  double ConflictDebt = 0.0;
 
   SimStats Stats;
   std::optional<TrapInfo> Trap;
@@ -521,20 +638,32 @@ private:
 
 namespace {
 std::atomic<uint64_t> SimulatedCycleTally{0};
+std::array<std::atomic<uint64_t>, NumSlotUses> SlotUseTally{};
 } // namespace
 
 Expected<SimStats> gpuperf::simulateWave(
     const MachineDesc &M, const Kernel &K, Executor &Exec,
     const LaunchDims &Dims, const std::vector<int> &BlockIds,
-    uint64_t WatchdogCycles, TrapInfo *TrapOut) {
-  SMSim Sim(M, K, Exec, Dims, BlockIds, WatchdogCycles);
+    uint64_t WatchdogCycles, TrapInfo *TrapOut, TraceRecorder *Trace) {
+  SMSim Sim(M, K, Exec, Dims, BlockIds, WatchdogCycles, Trace);
   Expected<SimStats> Result = Sim.run(TrapOut);
-  if (Result.hasValue())
+  if (Result.hasValue()) {
     SimulatedCycleTally.fetch_add(Result->Cycles,
                                   std::memory_order_relaxed);
+    for (size_t U = 0; U < NumSlotUses; ++U)
+      SlotUseTally[U].fetch_add(Result->Breakdown.Slots[U],
+                                std::memory_order_relaxed);
+  }
   return Result;
 }
 
 uint64_t gpuperf::totalSimulatedCycles() {
   return SimulatedCycleTally.load(std::memory_order_relaxed);
+}
+
+StallBreakdown gpuperf::totalIssueSlotBreakdown() {
+  StallBreakdown B;
+  for (size_t U = 0; U < NumSlotUses; ++U)
+    B.Slots[U] = SlotUseTally[U].load(std::memory_order_relaxed);
+  return B;
 }

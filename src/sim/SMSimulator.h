@@ -23,6 +23,7 @@
 #include "isa/Module.h"
 #include "sim/Executor.h"
 #include "sim/Stats.h"
+#include "sim/Trace.h"
 #include "sim/Trap.h"
 #include "support/Error.h"
 
@@ -42,18 +43,34 @@ inline constexpr uint64_t MaxWaveCycles = 1ull << 33;
 /// deadlock): the failure message is TrapInfo::toString() and, when
 /// \p TrapOut is non-null, *TrapOut receives the full structured record.
 /// \p WatchdogCycles bounds the wave's simulated cycles (0 applies only
-/// the MaxWaveCycles backstop).
+/// the MaxWaveCycles backstop). When \p Trace is non-null the wave's
+/// per-warp issue and per-scheduler stall events are recorded into it
+/// (the caller brackets the wave with beginWave/endWave).
+///
+/// The returned stats satisfy the issue-slot invariant: every cycle each
+/// of the machine's warp schedulers owns one issue slot, accounted to
+/// exactly one SlotUse cause, so
+///   Stats.Breakdown.total() == Stats.Cycles * max(1, WarpSchedulersPerSM)
 Expected<SimStats> simulateWave(const MachineDesc &M, const Kernel &K,
                                 Executor &Exec, const LaunchDims &Dims,
                                 const std::vector<int> &BlockIds,
                                 uint64_t WatchdogCycles = 0,
-                                TrapInfo *TrapOut = nullptr);
+                                TrapInfo *TrapOut = nullptr,
+                                TraceRecorder *Trace = nullptr);
 
 /// Process-wide count of SM cycles simulated by successful waves since
 /// process start (atomic; waves may run concurrently). The bench
 /// harness samples it to report simulated-cycles-per-wall-second, the
 /// simulator's own throughput metric.
 uint64_t totalSimulatedCycles();
+
+/// Process-wide per-cause issue-slot tally over the same successful
+/// waves (atomic). BenchRun samples it around a bench run to embed a
+/// stall breakdown in every metrics record; together with
+/// totalSimulatedCycles it satisfies the same invariant as per-wave
+/// stats: total() == totalSimulatedCycles() * schedulers (for a process
+/// that simulates a single machine model).
+StallBreakdown totalIssueSlotBreakdown();
 
 } // namespace gpuperf
 

@@ -14,9 +14,88 @@
 
 namespace gpuperf {
 
+/// Where one scheduler issue slot went. Every simulated cycle each warp
+/// scheduler owns exactly one slot: it either issues a warp instruction
+/// (Issued; a Kepler dual-issue pair still consumes one slot) or the slot
+/// is lost to exactly one cause. The taxonomy follows the paper's
+/// issue-slot arguments: the SM bound is an issue-bandwidth claim, so
+/// showing *where the slots went* is what turns the bound into an
+/// explanation.
+enum class SlotUse : uint8_t {
+  Issued = 0,      ///< A warp instruction (or dual-issue pair) issued.
+  Scoreboard,      ///< RAW/latency wait (scoreboard, notation stalls,
+                   ///< replay-penalty stalls, global-load waits).
+  RegBankConflict, ///< Issue pipe busy, attributable to register-bank
+                   ///< conflict surcharge of previously-issued math ops.
+  DispatchLimit,   ///< Dispatch port / raw issue-width / math pipe busy.
+  LdsThroughput,   ///< LD/ST pipe busy (shared-memory throughput limit).
+  Barrier,         ///< Every live candidate warp was waiting at BAR.SYNC.
+  NoEligibleWarp,  ///< No live warp assigned to this scheduler.
+};
+inline constexpr size_t NumSlotUses = 7;
+
+/// Short stable name used in tables, JSON records and trace events.
+inline const char *slotUseName(SlotUse U) {
+  switch (U) {
+  case SlotUse::Issued:
+    return "issued";
+  case SlotUse::Scoreboard:
+    return "scoreboard";
+  case SlotUse::RegBankConflict:
+    return "bank_conflict";
+  case SlotUse::DispatchLimit:
+    return "dispatch_limit";
+  case SlotUse::LdsThroughput:
+    return "lds_throughput";
+  case SlotUse::Barrier:
+    return "barrier";
+  case SlotUse::NoEligibleWarp:
+    return "no_eligible_warp";
+  }
+  return "?";
+}
+
+/// Per-cause issue-slot accounting. The invariant (pinned by tests):
+///   total() == AggregateCycles * WarpSchedulersPerSM
+/// for every wave, and -- because both merge modes sum the breakdown and
+/// AggregateCycles -- for every merged SimStats as well.
+struct StallBreakdown {
+  std::array<uint64_t, NumSlotUses> Slots = {};
+
+  uint64_t &operator[](SlotUse U) {
+    return Slots[static_cast<size_t>(U)];
+  }
+  uint64_t slots(SlotUse U) const {
+    return Slots[static_cast<size_t>(U)];
+  }
+  uint64_t total() const {
+    uint64_t T = 0;
+    for (uint64_t S : Slots)
+      T += S;
+    return T;
+  }
+  /// Slots lost to any cause (total minus Issued).
+  uint64_t lost() const { return total() - slots(SlotUse::Issued); }
+
+  void add(const StallBreakdown &O) {
+    for (size_t I = 0; I < Slots.size(); ++I)
+      Slots[I] += O.Slots[I];
+  }
+
+  bool operator==(const StallBreakdown &O) const {
+    return Slots == O.Slots;
+  }
+};
+
 /// Counters accumulated while simulating one SM (or merged across SMs).
 struct SimStats {
   uint64_t Cycles = 0;
+  /// Sum of per-SM-wave cycle counts. For a single wave this equals
+  /// Cycles; after merging it is the total simulated SM-cycles, whatever
+  /// the merge mode -- addConcurrent max-merges Cycles (chip makespan)
+  /// but sums AggregateCycles, so per-SM-cycle rates (threadInstsPerCycle,
+  /// idleFraction, the issue-slot invariant) stay well-defined.
+  uint64_t AggregateCycles = 0;
   uint64_t WarpInstsIssued = 0;
   uint64_t ThreadInstsIssued = 0;
   std::array<uint64_t, static_cast<size_t>(Opcode::NumOpcodes)>
@@ -28,6 +107,8 @@ struct SimStats {
   uint64_t BarrierWaits = 0;
   uint64_t IdleCycles = 0;   ///< Cycles in which no scheduler issued.
   uint64_t DualIssues = 0;   ///< Second-slot issues (Kepler pairs).
+  /// Per-cause issue-slot accounting (see SlotUse).
+  StallBreakdown Breakdown;
 
   uint64_t threadInsts(Opcode Op) const {
     return ThreadInstsByOpcode[static_cast<size_t>(Op)];
@@ -36,9 +117,25 @@ struct SimStats {
   /// FFMA thread instructions (the "useful work" metric of the paper).
   uint64_t ffmaThreadInsts() const { return threadInsts(Opcode::FFMA); }
 
-  /// Thread instructions per cycle (the y-axis of Figures 2 and 4).
+  /// Denominator for per-SM-cycle rates: the aggregate when present
+  /// (always, for simulator-produced stats), else Cycles so hand-built
+  /// single-wave stats keep working.
+  uint64_t perSMCycles() const {
+    return AggregateCycles ? AggregateCycles : Cycles;
+  }
+
+  /// Thread instructions per SM-cycle (the y-axis of Figures 2 and 4).
+  /// Uses AggregateCycles so the rate is the average per-SM IPC under
+  /// both merge modes; identical to the per-wave value for one wave.
   double threadInstsPerCycle() const {
-    return Cycles ? static_cast<double>(ThreadInstsIssued) / Cycles : 0.0;
+    uint64_t C = perSMCycles();
+    return C ? static_cast<double>(ThreadInstsIssued) / C : 0.0;
+  }
+
+  /// Fraction of simulated SM-cycles in which no scheduler issued.
+  double idleFraction() const {
+    uint64_t C = perSMCycles();
+    return C ? static_cast<double>(IdleCycles) / C : 0.0;
   }
 
   /// Accumulates counters from a sequentially-simulated wave: cycles add.
@@ -47,7 +144,8 @@ struct SimStats {
     mergeCounters(O);
   }
 
-  /// Accumulates counters from a concurrently-running SM: cycles max.
+  /// Accumulates counters from a concurrently-running SM: cycles max
+  /// (makespan); everything else, including AggregateCycles, sums.
   void addConcurrent(const SimStats &O) {
     Cycles = Cycles > O.Cycles ? Cycles : O.Cycles;
     mergeCounters(O);
@@ -55,6 +153,7 @@ struct SimStats {
 
 private:
   void mergeCounters(const SimStats &O) {
+    AggregateCycles += O.perSMCycles();
     WarpInstsIssued += O.WarpInstsIssued;
     ThreadInstsIssued += O.ThreadInstsIssued;
     for (size_t I = 0; I < ThreadInstsByOpcode.size(); ++I)
@@ -66,6 +165,7 @@ private:
     BarrierWaits += O.BarrierWaits;
     IdleCycles += O.IdleCycles;
     DualIssues += O.DualIssues;
+    Breakdown.add(O.Breakdown);
   }
 };
 

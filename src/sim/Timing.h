@@ -37,12 +37,12 @@ namespace gpuperf {
 /// cycle at cost 1. Encodes the Kepler register-bank rules (Section 3.3):
 /// 2-way / 3-way source conflicts add slots, accumulator write-back adds a
 /// small turnaround, and repeated sources ride the ~178-peak fast path.
-inline double mathSlotCost(const MachineDesc &M, const Instruction &I) {
-  bool QuarterRate = opcodeInfo(I.Op).Class == OpClass::IntMulMath;
-  double Cost = QuarterRate ? M.QuarterRateSlots : 1.0;
+/// Worst per-bank load of \p I's distinct source registers (1 = conflict
+/// free); 1 on machines without a banked register file.
+inline int mathSourceConflictDegree(const MachineDesc &M,
+                                    const Instruction &I) {
   if (M.RegisterFileBanks <= 0)
-    return Cost;
-
+    return 1;
   // Distinct source registers and their worst per-bank load.
   RegList Distinct;
   bool ImmSlot1 = I.immReplacesSrc1();
@@ -54,7 +54,15 @@ inline double mathSlotCost(const MachineDesc &M, const Instruction &I) {
       continue;
     Distinct.push(Reg);
   }
-  int Conflict = bankConflictDegree(Distinct);
+  return bankConflictDegree(Distinct);
+}
+
+inline double mathSlotCost(const MachineDesc &M, const Instruction &I) {
+  bool QuarterRate = opcodeInfo(I.Op).Class == OpClass::IntMulMath;
+  double Cost = QuarterRate ? M.QuarterRateSlots : 1.0;
+  if (M.RegisterFileBanks <= 0)
+    return Cost;
+  int Conflict = mathSourceConflictDegree(M, I);
 
   if (QuarterRate)
     return Cost + std::max(0, Conflict - 2);
@@ -67,6 +75,31 @@ inline double mathSlotCost(const MachineDesc &M, const Instruction &I) {
       M.RepeatedOperandPeak > M.MathIssueSlotsPerCycle)
     Cost = M.MathIssueSlotsPerCycle / M.RepeatedOperandPeak;
   return Cost;
+}
+
+/// Issue-pipe cycles \p I occupies *beyond* its conflict-free cost: the
+/// register-bank-conflict surcharge of Section 3.3 / Table 2. The stall
+/// attributor banks this debt at issue time and pays it out when later
+/// slots are lost to a busy issue pipe, splitting "issue pipe saturated"
+/// into its bank-conflict and raw-issue-width components.
+inline double bankConflictExtraCycles(const MachineDesc &M,
+                                      const Instruction &I) {
+  if (M.Generation != GpuGeneration::Kepler)
+    return 0.0;
+  switch (opcodeInfo(I.Op).Class) {
+  case OpClass::FloatMath:
+  case OpClass::IntMath:
+  case OpClass::IntMulMath:
+  case OpClass::Move:
+    break;
+  default:
+    return 0.0;
+  }
+  int Conflict = mathSourceConflictDegree(M, I);
+  bool QuarterRate = opcodeInfo(I.Op).Class == OpClass::IntMulMath;
+  int ExtraSlots =
+      QuarterRate ? std::max(0, Conflict - 2) : std::max(0, Conflict - 1);
+  return ExtraSlots * WarpSize / M.MathIssueSlotsPerCycle;
 }
 
 /// Cycles the Kepler SM-wide issue pipe is occupied by \p I; 0 on

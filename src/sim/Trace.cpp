@@ -1,0 +1,184 @@
+//===- sim/Trace.cpp - per-warp issue/stall event timeline ----------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Trace.h"
+
+#include "arch/MachineDesc.h"
+#include "support/Format.h"
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace gpuperf;
+
+//===----------------------------------------------------------------------===//
+// TraceRecorder
+//===----------------------------------------------------------------------===//
+
+TraceRecorder::TraceRecorder(size_t RingCapacity)
+    : RingCapacity(RingCapacity < 1 ? 1 : RingCapacity) {}
+
+void TraceRecorder::beginWave(size_t NumWarps, int NumSchedulers,
+                              uint64_t Offset) {
+  CycleOffset = Offset;
+  WarpRings.assign(NumWarps, Ring());
+  SchedRings.assign(static_cast<size_t>(NumSchedulers), Ring());
+  Open.assign(static_cast<size_t>(NumSchedulers), OpenStall());
+}
+
+void TraceRecorder::push(Ring &R, const TraceEvent &E) {
+  if (R.Buf.size() < RingCapacity) {
+    R.Buf.push_back(E);
+    return;
+  }
+  R.Buf[R.Next] = E;
+  R.Next = (R.Next + 1) % RingCapacity;
+  R.Wrapped = true;
+  ++Dropped;
+}
+
+void TraceRecorder::issue(int WarpSlot, int BlockId, int WarpInBlock,
+                          uint64_t Cycle, int PC, Opcode Op) {
+  TraceEvent E;
+  E.Cycle = CycleOffset + Cycle;
+  E.Dur = 1;
+  E.PC = PC;
+  E.BlockId = BlockId;
+  E.Track = static_cast<uint16_t>(WarpSlot);
+  E.IsStall = 0;
+  E.Code = static_cast<uint8_t>(Op);
+  E.WarpInBlock = static_cast<uint8_t>(WarpInBlock);
+  push(WarpRings[static_cast<size_t>(WarpSlot)], E);
+}
+
+void TraceRecorder::stall(int Sched, uint64_t Cycle, uint64_t Cycles,
+                          SlotUse Use) {
+  OpenStall &S = Open[static_cast<size_t>(Sched)];
+  uint64_t Start = CycleOffset + Cycle;
+  if (S.Valid && S.Use == Use && S.Start + S.Dur == Start) {
+    S.Dur += Cycles;
+    return;
+  }
+  if (S.Valid)
+    flushStall(Sched);
+  S.Start = Start;
+  S.Dur = Cycles;
+  S.Use = Use;
+  S.Valid = true;
+}
+
+void TraceRecorder::flushStall(int Sched) {
+  OpenStall &S = Open[static_cast<size_t>(Sched)];
+  if (!S.Valid)
+    return;
+  TraceEvent E;
+  E.Cycle = S.Start;
+  E.Dur = S.Dur;
+  E.Track = static_cast<uint16_t>(SchedTrackBase + Sched);
+  E.IsStall = 1;
+  E.Code = static_cast<uint8_t>(S.Use);
+  push(SchedRings[static_cast<size_t>(Sched)], E);
+  S.Valid = false;
+}
+
+void TraceRecorder::endWave() {
+  for (size_t S = 0; S < Open.size(); ++S)
+    flushStall(static_cast<int>(S));
+  // Unroll each ring oldest-first onto the finished list so waves stay in
+  // chronological, track-major order.
+  auto Drain = [&](Ring &R) {
+    if (R.Wrapped)
+      Finished.insert(Finished.end(), R.Buf.begin() + R.Next,
+                      R.Buf.end());
+    Finished.insert(Finished.end(), R.Buf.begin(),
+                    R.Buf.begin() + (R.Wrapped ? R.Next : R.Buf.size()));
+    R = Ring();
+  };
+  for (Ring &R : WarpRings)
+    Drain(R);
+  for (Ring &R : SchedRings)
+    Drain(R);
+}
+
+std::vector<TraceEvent> TraceRecorder::take() {
+  endWave();
+  std::vector<TraceEvent> Out = std::move(Finished);
+  Finished.clear();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace_event JSON
+//===----------------------------------------------------------------------===//
+
+std::string gpuperf::chromeTraceJson(const SimTrace &Trace,
+                                     const MachineDesc &M) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+
+  // Metadata: name the processes (SMs) and scheduler tracks.
+  int MaxSM = -1;
+  for (const TraceEvent &E : Trace.Events)
+    MaxSM = E.SM > MaxSM ? E.SM : MaxSM;
+  for (int SM = 0; SM <= MaxSM; ++SM) {
+    W.beginObject();
+    W.kv("name", "process_name");
+    W.kv("ph", "M");
+    W.kv("pid", SM);
+    W.key("args");
+    W.beginObject();
+    W.kv("name", formatString("%s SM %d", M.Name.c_str(), SM));
+    W.endObject();
+    W.endObject();
+  }
+
+  for (const TraceEvent &E : Trace.Events) {
+    W.beginObject();
+    if (E.IsStall) {
+      W.kv("name", slotUseName(static_cast<SlotUse>(E.Code)));
+      W.kv("cat", "stall");
+    } else {
+      W.kv("name", opcodeMnemonic(static_cast<Opcode>(E.Code)));
+      W.kv("cat", "issue");
+    }
+    W.kv("ph", "X");
+    W.kv("ts", E.Cycle);
+    W.kv("dur", E.Dur);
+    W.kv("pid", static_cast<int>(E.SM));
+    W.kv("tid", static_cast<unsigned>(E.Track));
+    if (!E.IsStall) {
+      W.key("args");
+      W.beginObject();
+      W.kv("pc", E.PC);
+      W.kv("block", E.BlockId);
+      W.kv("warp", static_cast<int>(E.WarpInBlock));
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.kv("displayTimeUnit", "ns");
+  W.kv("machine", M.Name);
+  W.kv("dropped_events", Trace.DroppedEvents);
+  W.endObject();
+  return W.take();
+}
+
+Status gpuperf::writeChromeTrace(const SimTrace &Trace,
+                                 const MachineDesc &M,
+                                 const std::string &Path) {
+  std::string Json = chromeTraceJson(Trace, M);
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Status::error("cannot write trace file '" + Path + "'");
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool CloseOk = std::fclose(F) == 0;
+  if (Written != Json.size() || !CloseOk)
+    return Status::error("short write to trace file '" + Path + "'");
+  return Status::success();
+}

@@ -1,0 +1,82 @@
+//===- support/Json.h - minimal JSON emission and validation ----*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer (objects, arrays, scalars, correct
+/// string escaping) and a strict validating parser. The writer backs the
+/// Chrome trace_event emitter and the bench metrics records; the
+/// validator backs the trace_smoke test and any consumer that wants to
+/// assert a produced file is structurally sound without pulling in a
+/// JSON library dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SUPPORT_JSON_H
+#define GPUPERF_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gpuperf {
+
+/// Append-only JSON writer. Produces compact output; the caller opens and
+/// closes containers explicitly and the writer inserts commas. Misuse
+/// (closing more containers than were opened) is an assertion failure in
+/// debug builds and produces invalid JSON in release builds -- callers are
+/// expected to emit a fixed shape.
+class JsonWriter {
+public:
+  void beginObject() { openContainer('{'); }
+  void endObject() { closeContainer('}'); }
+  void beginArray() { openContainer('['); }
+  void endArray() { closeContainer(']'); }
+
+  /// Emits a key inside an object; the next value call provides its value.
+  void key(std::string_view Name);
+
+  void value(std::string_view S);
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(uint64_t V);
+  void value(int64_t V);
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+  void value(double V, int Decimals = 6);
+  void value(bool B);
+
+  /// Convenience: key + value in one call.
+  template <typename T> void kv(std::string_view Name, T V) {
+    key(Name);
+    value(V);
+  }
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void openContainer(char C);
+  void closeContainer(char C);
+  void separate();
+  void appendEscaped(std::string_view S);
+
+  std::string Out;
+  /// True when the next emission at the current nesting level needs a
+  /// preceding comma.
+  bool NeedComma = false;
+  /// True right after key(): suppresses the comma before the value.
+  bool AfterKey = false;
+};
+
+/// Strictly validates that \p Text is one complete JSON value (RFC 8259
+/// grammar: objects, arrays, strings with escapes, numbers, true/false/
+/// null) with nothing but whitespace after it. On failure, *ErrorOut (when
+/// non-null) receives a message naming the byte offset and the check that
+/// fired.
+bool jsonValidate(std::string_view Text, std::string *ErrorOut = nullptr);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SUPPORT_JSON_H

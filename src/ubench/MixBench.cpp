@@ -127,7 +127,8 @@ Kernel gpuperf::generateMixBench(const MachineDesc &M,
 }
 
 double gpuperf::measureThroughput(const MachineDesc &M, const Kernel &K,
-                                  const MeasureConfig &Cfg) {
+                                  const MeasureConfig &Cfg,
+                                  SimStats *StatsOut) {
   GlobalMemory GM(1 << 20);
   LaunchConfig Config;
   Config.Dims.BlockX = Cfg.ThreadsPerBlock;
@@ -140,5 +141,7 @@ double gpuperf::measureThroughput(const MachineDesc &M, const Kernel &K,
                  R.message().c_str());
     std::abort();
   }
+  if (StatsOut)
+    *StatsOut = R->Stats;
   return R->Stats.threadInstsPerCycle();
 }

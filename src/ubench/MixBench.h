@@ -60,8 +60,12 @@ struct MeasureConfig {
 /// Runs \p K with saturating (or explicitly chosen) occupancy and returns
 /// issued thread-instructions per cycle per SM (the y-axis of Figures 2
 /// and 4). Aborts the process on launch errors (programmatic misuse).
+/// When \p StatsOut is non-null it receives the full simulation counters
+/// of the measured wave, including the per-cause issue-slot breakdown --
+/// the benches use this for their issue_slot_report sections.
 double measureThroughput(const MachineDesc &M, const Kernel &K,
-                         const MeasureConfig &Cfg = MeasureConfig());
+                         const MeasureConfig &Cfg = MeasureConfig(),
+                         SimStats *StatsOut = nullptr);
 
 } // namespace gpuperf
 

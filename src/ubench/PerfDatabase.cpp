@@ -15,6 +15,8 @@
 #include <cstring>
 #include <fstream>
 
+#include <unistd.h>
+
 using namespace gpuperf;
 
 namespace {
@@ -121,6 +123,9 @@ parseCacheFile(const std::string &Path) {
   return Entries;
 }
 
+/// Testing hook state; see setPerfCacheSaveByteLimitForTesting.
+size_t SaveByteLimit = 0;
+
 Status writeCacheFile(const std::string &Path,
                       const std::map<std::string, double> &Entries) {
   assert(Entries.size() <= MaxCacheEntries && "cache grew past its cap");
@@ -135,17 +140,45 @@ Status writeCacheFile(const std::string &Path,
     std::memcpy(&Bits, &Value, 8);
     appendU64(Out, Bits);
   }
-  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
-  if (!OS)
-    return Status::error("cannot write perf cache '" + Path + "'");
-  OS.write(reinterpret_cast<const char *>(Out.data()),
-           static_cast<std::streamsize>(Out.size()));
-  if (!OS)
-    return Status::error("short write to perf cache '" + Path + "'");
+
+  // Write to a same-directory temporary and rename into place: rename(2)
+  // is atomic within a filesystem, so a crash, full disk or short write
+  // mid-save leaves the previous cache file untouched instead of
+  // replacing it with a truncated one the next load would reject. The
+  // pid suffix keeps concurrent saves from different processes off each
+  // other's temporary.
+  std::string Tmp =
+      formatString("%s.tmp.%ld", Path.c_str(), static_cast<long>(getpid()));
+  size_t WriteBytes = Out.size();
+  if (SaveByteLimit && SaveByteLimit < WriteBytes)
+    WriteBytes = SaveByteLimit; // Simulated disk-full for the tests.
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return Status::error("cannot write perf cache '" + Tmp + "'");
+    OS.write(reinterpret_cast<const char *>(Out.data()),
+             static_cast<std::streamsize>(WriteBytes));
+    OS.flush();
+    if (!OS || WriteBytes != Out.size()) {
+      OS.close();
+      std::remove(Tmp.c_str());
+      return Status::error("short write to perf cache '" + Path +
+                           "' (previous cache left intact)");
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Status::error("cannot rename perf cache temporary over '" +
+                         Path + "'");
+  }
   return Status::success();
 }
 
 } // namespace
+
+void gpuperf::setPerfCacheSaveByteLimitForTesting(size_t Limit) {
+  SaveByteLimit = Limit;
+}
 
 PerfDatabase::PerfDatabase(const MachineDesc &M, std::string CachePath)
     : M(M), CachePath(std::move(CachePath)) {

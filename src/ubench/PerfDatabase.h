@@ -92,7 +92,11 @@ public:
 
   /// Writes all entries to \p Path, first merging entries already in the
   /// file (concurrently-written entries from another process are kept
-  /// unless this database re-measured the same key).
+  /// unless this database re-measured the same key). The write is atomic:
+  /// bytes go to a same-directory temporary file that is renamed over
+  /// \p Path only after a complete write, so a crash, full disk or short
+  /// write mid-save leaves the previous cache file untouched (pinned by
+  /// perf_cache_test).
   Status save(const std::string &Path) const;
 
   /// FNV-1a hash of the kernel exactly as it would reach the simulator
@@ -118,6 +122,13 @@ private:
   size_t Hits = 0, Misses = 0;         ///< Guarded by Mutex.
   bool Dirty = false;                  ///< Guarded by Mutex.
 };
+
+/// Testing hook: caps the number of bytes PerfDatabase::save may write
+/// to its temporary file (0 = unlimited, the default). A capped save
+/// fails like a full disk would -- the test suite uses this to prove a
+/// failed save cannot clobber the previous cache file. Not thread-safe;
+/// set only from single-threaded test code.
+void setPerfCacheSaveByteLimitForTesting(size_t Limit);
 
 } // namespace gpuperf
 

@@ -121,6 +121,22 @@ void expectIdentical(const FullRun &A, const FullRun &B, int Jobs) {
   EXPECT_EQ(A.R.Stats.BarrierWaits, B.R.Stats.BarrierWaits);
   EXPECT_EQ(A.R.Stats.IdleCycles, B.R.Stats.IdleCycles);
   EXPECT_EQ(A.R.Stats.DualIssues, B.R.Stats.DualIssues);
+  EXPECT_EQ(A.R.Stats.AggregateCycles, B.R.Stats.AggregateCycles);
+  for (size_t U = 0; U < NumSlotUses; ++U)
+    EXPECT_EQ(A.R.Stats.Breakdown.Slots[U], B.R.Stats.Breakdown.Slots[U])
+        << "slot cause " << slotUseName(static_cast<SlotUse>(U));
+}
+
+/// The issue-slot accounting identity: every cycle, every scheduler,
+/// exactly one cause. Checked against AggregateCycles (which sums under
+/// the concurrent merge) rather than Cycles (which max-merges).
+void expectIssueSlotInvariant(const MachineDesc &M, const SimStats &S) {
+  uint64_t Scheds =
+      static_cast<uint64_t>(M.WarpSchedulersPerSM > 1
+                                ? M.WarpSchedulersPerSM
+                                : 1);
+  EXPECT_EQ(S.Breakdown.total(), S.AggregateCycles * Scheds);
+  EXPECT_GT(S.Breakdown.slots(SlotUse::Issued), 0u);
 }
 
 TEST(ParallelSim, FermiFullSimBitIdenticalAcrossJobs) {
@@ -136,6 +152,23 @@ TEST(ParallelSim, KeplerFullSimBitIdenticalAcrossJobs) {
   ASSERT_TRUE(Serial.Ok) << Serial.Error;
   for (int Jobs : {8})
     expectIdentical(Serial, runTunedNN(gtx680(), Jobs), Jobs);
+}
+
+TEST(ParallelSim, IssueSlotBreakdownInvariantAndJobsIdentical) {
+  // The acceptance property of the stall-attribution layer on the
+  // paper's headline workload (BR=6 Kepler SGEMM): per-cause slots sum
+  // to aggregate SM-cycles x schedulers, and the whole breakdown is
+  // bit-identical for --jobs 1 and --jobs 4. Fermi checked too, where
+  // schedulers=2 exercises the multi-scheduler accounting differently.
+  for (const MachineDesc *M : {&gtx680(), &gtx580()}) {
+    FullRun J1 = runTunedNN(*M, 1);
+    FullRun J4 = runTunedNN(*M, 4);
+    ASSERT_TRUE(J1.Ok) << J1.Error;
+    ASSERT_TRUE(J4.Ok) << J4.Error;
+    SCOPED_TRACE(M->Name);
+    expectIssueSlotInvariant(*M, J1.R.Stats);
+    expectIdentical(J1, J4, 4);
+  }
 }
 
 TEST(ParallelSim, WatchdogTrapIdenticalAcrossJobs) {

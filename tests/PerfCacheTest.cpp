@@ -22,6 +22,8 @@
 #include <fstream>
 #include <vector>
 
+#include <unistd.h>
+
 using namespace gpuperf;
 
 namespace {
@@ -144,6 +146,43 @@ TEST_F(PerfCache, SaveMergesConcurrentWriters) {
   }
   PerfDatabase Check(M, Path);
   EXPECT_EQ(Check.entryCount(), 2u);
+}
+
+TEST_F(PerfCache, FailedSaveLeavesPreviousCacheIntact) {
+  // The atomic-save regression: save() writes a temporary and renames it
+  // into place, so a save that dies mid-write (full disk, crash) must
+  // leave the previous cache bytes untouched -- not a truncated file the
+  // next load would reject wholesale.
+  const MachineDesc &M = gtx580();
+  Kernel A = smallKernel(M, 2), B = smallKernel(M, 4);
+  double First;
+  {
+    PerfDatabase DB(M, Path);
+    First = DB.measureKernel(A, smallConfig());
+    ASSERT_FALSE(DB.save(Path).failed());
+  }
+
+  // Simulate disk-full: the save may write at most 5 bytes.
+  setPerfCacheSaveByteLimitForTesting(5);
+  {
+    PerfDatabase DB(M, Path);
+    DB.measureKernel(B, smallConfig());
+    Status S = DB.save(Path);
+    EXPECT_TRUE(S.failed());
+    EXPECT_NE(S.message().find("previous cache left intact"),
+              std::string::npos)
+        << S.message();
+  }
+  setPerfCacheSaveByteLimitForTesting(0);
+
+  // The original single-entry cache is still fully loadable; no stray
+  // temporary remains to confuse a later save.
+  PerfDatabase Check(M, Path);
+  EXPECT_EQ(Check.entryCount(), 1u);
+  EXPECT_EQ(Check.measureKernel(A, smallConfig()), First);
+  EXPECT_EQ(Check.misses(), 0u);
+  std::ifstream Tmp(Path + ".tmp." + std::to_string(getpid()));
+  EXPECT_FALSE(Tmp.good()) << "failed save must remove its temporary";
 }
 
 //===----------------------------------------------------------------------===//

@@ -4,8 +4,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Args.h"
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/MathUtils.h"
 #include "support/Rng.h"
 #include "support/Table.h"
@@ -232,4 +234,111 @@ TEST(ThreadPool, ResolveJobs) {
   EXPECT_GE(resolveJobs(-3), 1);
   EXPECT_EQ(resolveJobs(1), 1);
   EXPECT_EQ(resolveJobs(7), 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Args: validating integer flag parsing (the atoi-replacement satellite)
+//===----------------------------------------------------------------------===//
+
+TEST(Args, ParseIntegerAcceptsWellFormedValues) {
+  EXPECT_EQ(*parseInteger("42", 0, 100), 42);
+  EXPECT_EQ(*parseInteger("-7", -10, 10), -7);
+  EXPECT_EQ(*parseInteger("0x10", 0, 100), 16); // Base-0: hex works.
+  EXPECT_EQ(*parseInteger("0", 0, 0), 0);
+  EXPECT_EQ(*parseInteger("  8", 0, 10), 8); // strtol skips blanks.
+}
+
+TEST(Args, ParseIntegerRejectsMalformedValues) {
+  // Everything atoi silently turned into 0 (or truncated) must fail
+  // with a diagnostic instead.
+  EXPECT_FALSE(parseInteger("", 0, 100).hasValue());
+  EXPECT_FALSE(parseInteger("banana", 0, 100).hasValue());
+  EXPECT_FALSE(parseInteger("12abc", 0, 100).hasValue());
+  EXPECT_FALSE(parseInteger("4.5", 0, 100).hasValue());
+  EXPECT_FALSE(parseInteger("1e3", 0, 10000).hasValue());
+  EXPECT_FALSE(parseInteger(" ", 0, 100).hasValue());
+}
+
+TEST(Args, ParseIntegerEnforcesRange) {
+  EXPECT_FALSE(parseInteger("101", 0, 100).hasValue());
+  EXPECT_FALSE(parseInteger("-1", 0, 100).hasValue());
+  EXPECT_FALSE(
+      parseInteger("99999999999999999999999", 0, 1 << 30).hasValue());
+  EXPECT_EQ(*parseInteger("100", 0, 100), 100);
+}
+
+TEST(Args, ParseUnsignedRejectsNegativesAndGarbage) {
+  EXPECT_EQ(*parseUnsigned("0xffffffff", 0xffffffffull), 0xffffffffull);
+  // strtoull happily wraps "-1" to 2^64-1; parseUnsigned must not.
+  EXPECT_FALSE(parseUnsigned("-1", 100).hasValue());
+  EXPECT_FALSE(parseUnsigned("-0", 100).hasValue());
+  EXPECT_FALSE(parseUnsigned("junk", 100).hasValue());
+  EXPECT_FALSE(parseUnsigned("4294967296", 0xffffffffull).hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Json: writer round-trips through the strict validator
+//===----------------------------------------------------------------------===//
+
+TEST(Json, WriterProducesValidatedOutput) {
+  JsonWriter W;
+  W.beginObject();
+  W.kv("name", "bench \"quoted\"\n\t\x01");
+  W.kv("count", uint64_t(18446744073709551615ull));
+  W.kv("signed", int64_t(-42));
+  W.key("ratio");
+  W.value(0.5, 3);
+  W.kv("flag", true);
+  W.key("list");
+  W.beginArray();
+  W.value(1);
+  W.value("two");
+  W.beginObject();
+  W.kv("nested", false);
+  W.endObject();
+  W.endArray();
+  W.endObject();
+  std::string Err;
+  EXPECT_TRUE(jsonValidate(W.str(), &Err)) << Err << "\n" << W.str();
+  EXPECT_NE(W.str().find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(W.str().find("\\u0001"), std::string::npos);
+  EXPECT_NE(W.str().find("0.500"), std::string::npos);
+}
+
+TEST(Json, WriterEmitsNullForNonFiniteDoubles) {
+  JsonWriter W;
+  W.beginObject();
+  W.kv("inf", 1.0 / 0.0);
+  W.kv("nan", 0.0 / 0.0);
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"inf\":null,\"nan\":null}");
+  EXPECT_TRUE(jsonValidate(W.str()));
+}
+
+TEST(Json, ValidatorAcceptsWellFormedDocuments) {
+  for (const char *Good :
+       {"{}", "[]", "null", "true", "-0.5e10", "\"\"",
+        "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u00e9\\\\\"}",
+        "  [ 1 , 2 ]  ", "\"\\n\\t\\\"\""})
+    EXPECT_TRUE(jsonValidate(Good)) << Good;
+}
+
+TEST(Json, ValidatorRejectsMalformedDocuments) {
+  std::string Err;
+  for (const char *Bad :
+       {"", "{", "}", "{]", "[1,]", "{\"a\":}", "{\"a\" 1}", "01",
+        "1.2.3", "+1", "nul", "truex", "\"unterminated", "\"bad\\q\"",
+        "\"\\u12g4\"", "{} trailing", "[1] 2", "{\"a\":1,}",
+        "{'a':1}", "\"tab\tliteral\""}) {
+    EXPECT_FALSE(jsonValidate(Bad, &Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+TEST(Json, ValidatorRejectsRunawayNesting) {
+  std::string Deep(1000, '[');
+  Deep += std::string(1000, ']');
+  EXPECT_FALSE(jsonValidate(Deep)) << "depth cap must fire";
+  std::string Shallow = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_TRUE(jsonValidate(Shallow));
 }

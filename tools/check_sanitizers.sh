@@ -39,4 +39,4 @@ cmake --build "$TSAN_BUILD" -j"$(nproc)"
 
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R '(support|parallel_sim|perf_cache)_test' "$@"
+    -R '(support|parallel_sim|perf_cache|stats)_test|trace_smoke' "$@"

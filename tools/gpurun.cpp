@@ -8,7 +8,7 @@
 //
 //   gpurun module.gpub [kernel] [--machine GTX580|GTX680]
 //          [--grid X[,Y]] [--block N] [--param word]... [--mem bytes]
-//          [--watchdog cycles] [--jobs N]
+//          [--watchdog cycles] [--jobs N] [--metrics] [--trace FILE]
 //
 // Parameters are 32-bit words loaded into the constant bank (LDC);
 // --mem reserves a global allocation whose base address is appended as
@@ -20,6 +20,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Launcher.h"
+#include "support/Args.h"
+#include "support/Format.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +36,7 @@ static int usage() {
       "usage: gpurun module.gpub [kernel] [--machine GTX580|GTX680]\n"
       "              [--grid X[,Y]] [--block N] [--param word]...\n"
       "              [--mem bytes] [--watchdog cycles] [--jobs N]\n"
+      "              [--metrics] [--trace FILE]\n"
       "\n"
       "  --watchdog cycles   per-wave cycle budget before the launch\n"
       "                      fails with a WATCHDOG_TIMEOUT trap\n"
@@ -42,9 +45,40 @@ static int usage() {
       "                      result is bit-identical for every N\n"
       "                      (default: one per hardware thread; 1 =\n"
       "                      serial)\n"
+      "  --metrics           print the per-cause issue-slot breakdown:\n"
+      "                      where every scheduler slot of every cycle\n"
+      "                      went (issued, scoreboard, bank_conflict,\n"
+      "                      dispatch_limit, lds_throughput, barrier,\n"
+      "                      no_eligible_warp)\n"
+      "  --trace FILE        write a Chrome trace_event JSON timeline of\n"
+      "                      per-warp issues and per-scheduler stalls\n"
+      "                      (open in chrome://tracing or Perfetto)\n"
       "\n"
       "exit codes: 0 ok, 1 load/launch error, 2 usage, 3 runtime trap\n");
   return 2;
+}
+
+/// Parses the integer value of flag \p Flag (clamped to [Min, Max]); on
+/// any parse error prints a diagnostic naming the flag and exits 2.
+static long long flagInt(const char *Flag, const char *Text, long long Min,
+                         long long Max) {
+  auto V = parseInteger(Text, Min, Max);
+  if (!V) {
+    std::fprintf(stderr, "gpurun: %s: %s\n", Flag, V.message().c_str());
+    std::exit(2);
+  }
+  return *V;
+}
+
+/// Same for unsigned flags (rejects negative values outright).
+static unsigned long long flagUnsigned(const char *Flag, const char *Text,
+                                       unsigned long long Max) {
+  auto V = parseUnsigned(Text, Max);
+  if (!V) {
+    std::fprintf(stderr, "gpurun: %s: %s\n", Flag, V.message().c_str());
+    std::exit(2);
+  }
+  return *V;
 }
 
 int main(int Argc, char **Argv) {
@@ -56,6 +90,9 @@ int main(int Argc, char **Argv) {
   Config.Dims.GridX = 1;
   Config.Jobs = 0; // The CLI defaults to one job per hardware thread.
   size_t MemBytes = 0;
+  bool Metrics = false;
+  std::string TracePath;
+  SimTrace Trace;
 
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--machine") == 0 && I + 1 < Argc) {
@@ -65,26 +102,35 @@ int main(int Argc, char **Argv) {
         return 2;
       }
     } else if (std::strcmp(Argv[I], "--grid") == 0 && I + 1 < Argc) {
-      const char *Spec = Argv[++I];
-      Config.Dims.GridX = std::atoi(Spec);
-      if (const char *Comma = std::strchr(Spec, ','))
-        Config.Dims.GridY = std::atoi(Comma + 1);
-    } else if (std::strcmp(Argv[I], "--block") == 0 && I + 1 < Argc) {
-      Config.Dims.BlockX = std::atoi(Argv[++I]);
-    } else if (std::strcmp(Argv[I], "--param") == 0 && I + 1 < Argc) {
-      Config.Params.push_back(
-          static_cast<uint32_t>(std::strtoul(Argv[++I], nullptr, 0)));
-    } else if (std::strcmp(Argv[I], "--mem") == 0 && I + 1 < Argc) {
-      MemBytes = static_cast<size_t>(std::strtoull(Argv[++I], nullptr, 0));
-    } else if (std::strcmp(Argv[I], "--watchdog") == 0 && I + 1 < Argc) {
-      char *End = nullptr;
-      Config.WatchdogCycles = std::strtoull(Argv[++I], &End, 0);
-      if (End == Argv[I] || *End != '\0') {
-        std::fprintf(stderr, "gpurun: --watchdog expects a cycle count\n");
-        return 2;
+      std::string Spec = Argv[++I];
+      size_t Comma = Spec.find(',');
+      if (Comma != std::string::npos) {
+        Config.Dims.GridY = static_cast<int>(flagInt(
+            "--grid", Spec.substr(Comma + 1).c_str(), 1, 1 << 30));
+        Spec.resize(Comma);
       }
+      Config.Dims.GridX =
+          static_cast<int>(flagInt("--grid", Spec.c_str(), 1, 1 << 30));
+    } else if (std::strcmp(Argv[I], "--block") == 0 && I + 1 < Argc) {
+      Config.Dims.BlockX =
+          static_cast<int>(flagInt("--block", Argv[++I], 1, 1 << 20));
+    } else if (std::strcmp(Argv[I], "--param") == 0 && I + 1 < Argc) {
+      Config.Params.push_back(static_cast<uint32_t>(
+          flagUnsigned("--param", Argv[++I], 0xffffffffull)));
+    } else if (std::strcmp(Argv[I], "--mem") == 0 && I + 1 < Argc) {
+      MemBytes = static_cast<size_t>(
+          flagUnsigned("--mem", Argv[++I], ~0ull >> 1));
+    } else if (std::strcmp(Argv[I], "--watchdog") == 0 && I + 1 < Argc) {
+      Config.WatchdogCycles = flagUnsigned("--watchdog", Argv[++I], ~0ull);
     } else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
-      Config.Jobs = std::atoi(Argv[++I]);
+      Config.Jobs =
+          static_cast<int>(flagInt("--jobs", Argv[++I], 0, 65536));
+    } else if (std::strcmp(Argv[I], "--metrics") == 0) {
+      Metrics = true;
+    } else if (std::strcmp(Argv[I], "--trace") == 0 && I + 1 < Argc) {
+      TracePath = Argv[++I];
+    } else if (std::strncmp(Argv[I], "--trace=", 8) == 0) {
+      TracePath = Argv[I] + 8;
     } else if (Argv[I][0] == '-') {
       return usage();
     } else if (!Input) {
@@ -124,6 +170,8 @@ int main(int Argc, char **Argv) {
     }
     Config.Params.insert(Config.Params.begin(), *Base);
   }
+  if (!TracePath.empty())
+    Config.Trace = &Trace;
   TrapInfo Trap;
   auto R = launchKernel(*M, *K, Config, GM, &Trap);
   if (!R) {
@@ -155,5 +203,55 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(S.SharedConflictEvents));
   std::printf("scheduler replays  %12llu\n",
               static_cast<unsigned long long>(S.ReplayPenalties));
+
+  if (Metrics) {
+    // Issue-slot breakdown: each simulated cycle, each warp scheduler
+    // owned exactly one slot, accounted to exactly one cause. The totals
+    // therefore sum to aggregate SM-cycles x schedulers -- printed last
+    // so the identity is checkable by eye (and by the test suite).
+    int Scheds = M->WarpSchedulersPerSM > 1 ? M->WarpSchedulersPerSM : 1;
+    uint64_t Total = S.Breakdown.total();
+    std::printf("\nissue-slot breakdown (%d scheduler%s x %llu "
+                "aggregate SM-cycles)\n",
+                Scheds, Scheds == 1 ? "" : "s",
+                static_cast<unsigned long long>(S.perSMCycles()));
+    for (size_t U = 0; U < NumSlotUses; ++U) {
+      uint64_t Slots = S.Breakdown.Slots[U];
+      std::printf("  %-18s %14llu (%5.1f%%)\n",
+                  slotUseName(static_cast<SlotUse>(U)),
+                  static_cast<unsigned long long>(Slots),
+                  Total ? 100.0 * Slots / Total : 0.0);
+    }
+    bool Holds =
+        Total == S.perSMCycles() * static_cast<uint64_t>(Scheds);
+    std::printf("  %-18s %14llu (%s aggregate cycles x schedulers)\n",
+                "total", static_cast<unsigned long long>(Total),
+                Holds ? "==" : "!=");
+    if (!Holds) {
+      std::fprintf(stderr,
+                   "gpurun: issue-slot invariant violated (total %llu != "
+                   "%llu x %d)\n",
+                   static_cast<unsigned long long>(Total),
+                   static_cast<unsigned long long>(S.perSMCycles()),
+                   Scheds);
+      return 1;
+    }
+  }
+
+  if (!TracePath.empty()) {
+    if (Status St = writeChromeTrace(Trace, *M, TracePath); !St) {
+      std::fprintf(stderr, "gpurun: --trace: %s\n", St.message().c_str());
+      return 1;
+    }
+    std::printf("trace              %zu events -> %s%s\n",
+                Trace.Events.size(), TracePath.c_str(),
+                Trace.DroppedEvents
+                    ? formatString(" (%llu oldest events dropped by the "
+                                   "per-track ring)",
+                                   static_cast<unsigned long long>(
+                                       Trace.DroppedEvents))
+                          .c_str()
+                    : "");
+  }
   return 0;
 }

@@ -41,12 +41,20 @@ CACHE="$OUT/perf_cache.gpdb"
 for BENCH in "${BENCHES[@]}"; do
   BIN="$BUILD/bench/$BENCH"
   if [ ! -x "$BIN" ]; then
-    echo "skip: $BENCH (not built)" >&2
-    continue
+    # A missing binary means the build is stale or broken -- fail loudly
+    # instead of silently producing a partial suite.
+    echo "error: bench '$BENCH' is missing or not executable at $BIN" >&2
+    echo "       (build it with: cmake --build $BUILD)" >&2
+    exit 1
   fi
   echo "== $BENCH" >&2
-  "$BIN" --jobs "$JOBS" --cache "$CACHE" \
-    --json "$OUT/${BENCH}_sim.json" > "$OUT/$BENCH.txt"
+  if ! "$BIN" --jobs "$JOBS" --cache "$CACHE" \
+      --json "$OUT/${BENCH}_sim.json" > "$OUT/$BENCH.txt"; then
+    STATUS=$?
+    echo "error: bench '$BENCH' failed with exit status $STATUS" \
+         "(partial output in $OUT/$BENCH.txt)" >&2
+    exit "$STATUS"
+  fi
 done
 
 echo >&2
