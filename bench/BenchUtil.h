@@ -16,6 +16,7 @@
 #ifndef GPUPERF_BENCH_BENCHUTIL_H
 #define GPUPERF_BENCH_BENCHUTIL_H
 
+#include "kernelgen/Scheduler.h"
 #include "sim/SMSimulator.h"
 #include "support/Args.h"
 #include "support/Format.h"
@@ -56,6 +57,10 @@ inline void benchPrint(const std::string &Text) {
 ///   --cache PATH persistent PerfDatabase file (default:
 ///                PerfDatabase::defaultCachePath())
 ///   --no-cache   in-memory PerfDatabase only; force remeasurement
+///   --schedule drip|list
+///                main-loop ordering for the generated kernels the bench
+///                measures: the fixed drip interleave (default) or the
+///                kernelgen list scheduler
 class BenchRun {
 public:
   BenchRun(std::string BenchName, int Argc, char **Argv)
@@ -88,11 +93,20 @@ public:
         CachePath = needValue();
       else if (Arg == "--no-cache")
         CachePath.clear();
-      else {
+      else if (Arg == "--schedule") {
+        auto Choice = parseChoice(needValue(), {"drip", "list"});
+        if (!Choice) {
+          std::fprintf(stderr, "%s: --schedule: %s\n", Name.c_str(),
+                       Choice.message().c_str());
+          std::exit(2);
+        }
+        Schedule =
+            *Choice == 0 ? SgemmSchedule::Drip : SgemmSchedule::List;
+      } else {
         std::fprintf(stderr,
                      "%s: unknown option '%s'\n"
                      "usage: %s [--jobs N] [--json PATH] [--cache PATH] "
-                     "[--no-cache]\n",
+                     "[--no-cache] [--schedule drip|list]\n",
                      Name.c_str(), Arg.c_str(), Name.c_str());
         std::exit(2);
       }
@@ -142,6 +156,9 @@ public:
   /// Raw --jobs value for LaunchConfig::Jobs / runSweep (0 = hardware).
   int jobs() const { return Jobs; }
 
+  /// Main-loop ordering requested with --schedule (default: drip).
+  SgemmSchedule schedule() const { return Schedule; }
+
   /// PerfDatabase cache path; empty means --no-cache (in-memory only).
   const std::string &cachePath() const { return CachePath; }
 
@@ -156,6 +173,7 @@ private:
   std::string JsonPath;
   std::string CachePath;
   int Jobs = 0; ///< 0 = one worker per hardware thread.
+  SgemmSchedule Schedule = SgemmSchedule::Drip;
   std::chrono::steady_clock::time_point Start;
   uint64_t StartCycles;
   StallBreakdown StartBreakdown;

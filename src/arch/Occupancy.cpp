@@ -62,13 +62,42 @@ Occupancy gpuperf::computeOccupancy(const MachineDesc &M,
   O.ActiveBlocks = Blocks;
   O.ActiveThreads = Blocks * Res.ThreadsPerBlock;
   O.ActiveWarps = O.ActiveThreads / M.WarpSize;
+
+  // Every resource that yields exactly the final block count binds; the
+  // reported Limit is the highest-priority one (Registers > SharedMemory
+  // > ThreadsPerSM > BlocksPerSM, documented on the enum), so ties are
+  // attributed deterministically.
   if (Blocks == ByRegs)
-    O.Limit = OccupancyLimit::Registers;
-  else if (Blocks == ByShared)
-    O.Limit = OccupancyLimit::SharedMemory;
-  else if (Blocks == ByThreads)
-    O.Limit = OccupancyLimit::ThreadsPerSM;
-  else
-    O.Limit = OccupancyLimit::BlocksPerSM;
+    O.BindingLimits |= occupancyLimitBit(OccupancyLimit::Registers);
+  if (Blocks == ByShared)
+    O.BindingLimits |= occupancyLimitBit(OccupancyLimit::SharedMemory);
+  if (Blocks == ByThreads)
+    O.BindingLimits |= occupancyLimitBit(OccupancyLimit::ThreadsPerSM);
+  if (Blocks == ByBlocks)
+    O.BindingLimits |= occupancyLimitBit(OccupancyLimit::BlocksPerSM);
+  for (OccupancyLimit L :
+       {OccupancyLimit::Registers, OccupancyLimit::SharedMemory,
+        OccupancyLimit::ThreadsPerSM, OccupancyLimit::BlocksPerSM}) {
+    if (O.limitBinds(L)) {
+      O.Limit = L;
+      break;
+    }
+  }
   return O;
+}
+
+std::string gpuperf::occupancyBindingLimitNames(const Occupancy &O) {
+  std::string Names;
+  for (OccupancyLimit L :
+       {OccupancyLimit::Registers, OccupancyLimit::SharedMemory,
+        OccupancyLimit::ThreadsPerSM, OccupancyLimit::BlocksPerSM}) {
+    if (!O.limitBinds(L))
+      continue;
+    if (!Names.empty())
+      Names += " + ";
+    Names += occupancyLimitName(L);
+  }
+  if (Names.empty())
+    Names = occupancyLimitName(O.Limit);
+  return Names;
 }

@@ -18,6 +18,8 @@
 
 #include "arch/MachineDesc.h"
 
+#include <string>
+
 namespace gpuperf {
 
 /// Per-kernel resource usage relevant to residency.
@@ -27,7 +29,12 @@ struct KernelResources {
   int ThreadsPerBlock = 0;
 };
 
-/// What capped the number of resident blocks.
+/// What capped the number of resident blocks. When several resources
+/// yield the same block count, attribution is deterministic with the
+/// priority Registers > SharedMemory > ThreadsPerSM > BlocksPerSM (the
+/// order the paper discusses them in: Equation (1) first, Equation (5)
+/// second, then the hardware residency caps); BindingLimits additionally
+/// records every resource that binds.
 enum class OccupancyLimit {
   Registers,
   SharedMemory,
@@ -36,14 +43,29 @@ enum class OccupancyLimit {
   BlockTooLarge, ///< Not launchable at all.
 };
 
+/// Bitmask positions for Occupancy::BindingLimits.
+inline unsigned occupancyLimitBit(OccupancyLimit Limit) {
+  return 1u << static_cast<unsigned>(Limit);
+}
+
 /// Residency result for one SM.
 struct Occupancy {
   int ActiveBlocks = 0;
   int ActiveThreads = 0;
   int ActiveWarps = 0;
+  /// The highest-priority binding limit (see OccupancyLimit).
   OccupancyLimit Limit = OccupancyLimit::BlocksPerSM;
+  /// Every limit that binds (yields exactly ActiveBlocks), as a bitmask
+  /// of occupancyLimitBit values. Ties are common -- e.g. a register
+  /// budget that lands exactly on the thread cap -- and a tuner that
+  /// only sees one of two binding resources will chase the wrong knob.
+  unsigned BindingLimits = 0;
 
   bool launchable() const { return ActiveBlocks > 0; }
+  /// True when \p L binds the block count.
+  bool limitBinds(OccupancyLimit L) const {
+    return (BindingLimits & occupancyLimitBit(L)) != 0;
+  }
 };
 
 /// Computes SM residency of a kernel with resources \p Res on machine \p M.
@@ -51,6 +73,9 @@ Occupancy computeOccupancy(const MachineDesc &M, const KernelResources &Res);
 
 /// Human-readable limit name for reports.
 const char *occupancyLimitName(OccupancyLimit Limit);
+
+/// Renders every binding limit, e.g. "registers + max threads per SM".
+std::string occupancyBindingLimitNames(const Occupancy &O);
 
 } // namespace gpuperf
 

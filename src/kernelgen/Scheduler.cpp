@@ -1,0 +1,441 @@
+//===- kernelgen/Scheduler.cpp - latency/port-aware list scheduler --------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernelgen/Scheduler.h"
+
+#include "arch/RegisterBank.h"
+#include "asmtool/NotationTuner.h"
+#include "sim/Timing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+using namespace gpuperf;
+
+const char *gpuperf::sgemmScheduleName(SgemmSchedule S) {
+  switch (S) {
+  case SgemmSchedule::Drip:
+    return "drip";
+  case SgemmSchedule::List:
+    return "list";
+  }
+  return "?";
+}
+
+namespace {
+
+bool isControl(const Instruction &I) {
+  return opcodeInfo(I.Op).Class == OpClass::Control;
+}
+
+bool isMemOp(const Instruction &I) {
+  OpClass Class = opcodeInfo(I.Op).Class;
+  return Class == OpClass::SharedMem || Class == OpClass::GlobalMem;
+}
+
+/// A dependence edge: the successor may start Latency cycles after the
+/// predecessor issues (0 for pure ordering constraints).
+struct DepEdge {
+  int To;
+  int Latency;
+};
+
+/// Dependence DAG over one straight-line region plus the list-scheduling
+/// state. Nodes are indexed by position within the region; all edges go
+/// forward in program order, so a reverse sweep computes heights and any
+/// topological emission preserves the original semantics (the simulator
+/// executes functionally at issue, in program order).
+class RegionScheduler {
+public:
+  RegionScheduler(const MachineDesc &M, std::vector<Instruction> &Code,
+                  size_t Begin, size_t End)
+      : M(M), Code(Code), Begin(Begin), N(End - Begin) {}
+
+  /// Returns the number of instructions whose position changed.
+  int run();
+
+private:
+  void buildDag();
+  void computeHeights();
+  std::vector<int> listSchedule() const;
+
+  void addEdge(int From, int To, int Latency) {
+    if (From == To)
+      return;
+    Succs[From].push_back({To, Latency});
+    ++InDeg[To];
+  }
+
+  const Instruction &inst(int Node) const { return Code[Begin + Node]; }
+
+  const MachineDesc &M;
+  std::vector<Instruction> &Code;
+  size_t Begin;
+  size_t N;
+
+  std::vector<std::vector<DepEdge>> Succs;
+  std::vector<int> InDeg;
+  std::vector<long> Height;
+};
+
+void RegionScheduler::buildDag() {
+  Succs.assign(N, {});
+  InDeg.assign(N, 0);
+
+  // Hazard-tracking state, all indexed by architectural resource.
+  constexpr int NumRegs = 64;
+  std::vector<int> LastRegWrite(NumRegs, -1);
+  std::vector<std::vector<int>> RegReaders(NumRegs);
+  std::vector<int> LastPredWrite(NumPredRegs, -1);
+  std::vector<std::vector<int>> PredReaders(NumPredRegs);
+  // Memory ordering per address space: loads commute with loads, stores
+  // order against everything. Base+offset disambiguation is deliberately
+  // not attempted -- regions are short and the generator's shared-memory
+  // accesses genuinely alias across k-steps.
+  enum { SpaceShared = 0, SpaceGlobal = 1, NumSpaces = 2 };
+  int LastStore[NumSpaces] = {-1, -1};
+  std::vector<int> LoadsSinceStore[NumSpaces];
+
+  for (int Node = 0; Node < static_cast<int>(N); ++Node) {
+    const Instruction &I = inst(Node);
+
+    // Register reads: RAW from the last writer, and note the read so a
+    // later writer gets a WAR ordering edge.
+    for (uint8_t Reg : I.sourceRegs()) {
+      if (LastRegWrite[Reg] >= 0)
+        addEdge(LastRegWrite[Reg], Node, resultLatency(M, inst(LastRegWrite[Reg])));
+      RegReaders[Reg].push_back(Node);
+    }
+    // Predicate guard read.
+    if (I.GuardPred != PredPT) {
+      if (LastPredWrite[I.GuardPred] >= 0)
+        addEdge(LastPredWrite[I.GuardPred], Node, M.MathLatency);
+      PredReaders[I.GuardPred].push_back(Node);
+    }
+
+    // Register writes: WAW with the previous writer, WAR with readers
+    // since then (order-only edges), then become the new writer.
+    for (uint8_t Reg : I.destRegs()) {
+      if (LastRegWrite[Reg] >= 0)
+        addEdge(LastRegWrite[Reg], Node, 0);
+      for (int Reader : RegReaders[Reg])
+        addEdge(Reader, Node, 0);
+      RegReaders[Reg].clear();
+      LastRegWrite[Reg] = Node;
+    }
+    if (I.writesPredicate()) {
+      uint8_t Pred = I.Dst;
+      if (Pred < NumPredRegs) {
+        if (LastPredWrite[Pred] >= 0)
+          addEdge(LastPredWrite[Pred], Node, 0);
+        for (int Reader : PredReaders[Pred])
+          addEdge(Reader, Node, 0);
+        PredReaders[Pred].clear();
+        LastPredWrite[Pred] = Node;
+      }
+    }
+
+    // Memory ordering.
+    if (isMemOp(I)) {
+      int Space = opcodeInfo(I.Op).Class == OpClass::SharedMem ? SpaceShared
+                                                               : SpaceGlobal;
+      bool IsStore = !opcodeInfo(I.Op).HasDstReg;
+      if (IsStore) {
+        if (LastStore[Space] >= 0)
+          addEdge(LastStore[Space], Node, 0);
+        for (int Load : LoadsSinceStore[Space])
+          addEdge(Load, Node, 0);
+        LoadsSinceStore[Space].clear();
+        LastStore[Space] = Node;
+      } else {
+        if (LastStore[Space] >= 0)
+          addEdge(LastStore[Space], Node, 0);
+        LoadsSinceStore[Space].push_back(Node);
+      }
+    }
+  }
+}
+
+void RegionScheduler::computeHeights() {
+  Height.assign(N, 0);
+  for (int Node = static_cast<int>(N) - 1; Node >= 0; --Node) {
+    const Instruction &I = inst(Node);
+    // A value that leaves the region (a prefetch load feeding the store
+    // section after the barrier, a loop counter feeding the back-branch
+    // compare) still has its full result latency to hide: treat region
+    // exit as a consumer. This is what hoists global prefetches instead
+    // of sinking them -- their in-region height would otherwise be 0.
+    long H = 0;
+    if (I.destRegs().Count > 0 || I.writesPredicate())
+      H = resultLatency(M, I);
+    for (const DepEdge &E : Succs[Node])
+      H = std::max(H, E.Latency + Height[E.To]);
+    Height[Node] = H;
+  }
+}
+
+std::vector<int> RegionScheduler::listSchedule() const {
+  // Virtual issue model: Kepler schedulers pick up to two independent
+  // instructions per warp per cycle (dual issue) but only one of them may
+  // go to the LD/ST port; pre-Kepler parts hold the dispatch port two
+  // cycles per warp instruction, so consecutive instructions of one warp
+  // issue every other cycle.
+  const bool Kepler = M.Generation == GpuGeneration::Kepler;
+  const int Width = Kepler ? 2 : 1;
+  const long Step = Kepler ? 1 : 2;
+
+  std::vector<long> EarliestStart(N, 0);
+  std::vector<int> Pending = InDeg;
+  std::vector<int> Avail;
+  for (int Node = 0; Node < static_cast<int>(N); ++Node)
+    if (Pending[Node] == 0)
+      Avail.push_back(Node);
+
+  std::vector<int> Order;
+  Order.reserve(N);
+  long Cycle = 0;
+  int SlotsLeft = Width;
+  bool CycleHasMem = false;
+  double LdstBusyUntil = 0.0;
+
+  auto effectiveReady = [&](int Node) {
+    long Ready = EarliestStart[Node];
+    if (isMemOp(inst(Node)))
+      Ready = std::max(Ready, static_cast<long>(std::ceil(LdstBusyUntil)));
+    return Ready;
+  };
+
+  while (Order.size() < N) {
+    // Best ready candidate: highest critical-path height, then original
+    // program order (the deterministic tie-break).
+    int Best = -1;
+    for (int Node : Avail) {
+      if (effectiveReady(Node) > Cycle)
+        continue;
+      if (CycleHasMem && isMemOp(inst(Node)))
+        continue;
+      if (Best < 0 || Height[Node] > Height[Best] ||
+          (Height[Node] == Height[Best] && Node < Best))
+        Best = Node;
+    }
+
+    if (Best < 0) {
+      // Nothing issues this cycle: advance to the next time anything can.
+      long Next = std::numeric_limits<long>::max();
+      for (int Node : Avail)
+        Next = std::min(Next, effectiveReady(Node));
+      Cycle = std::max(Cycle + Step,
+                       Next == std::numeric_limits<long>::max() ? 0 : Next);
+      SlotsLeft = Width;
+      CycleHasMem = false;
+      continue;
+    }
+
+    Order.push_back(Best);
+    Avail.erase(std::find(Avail.begin(), Avail.end(), Best));
+    const Instruction &I = inst(Best);
+    if (isMemOp(I)) {
+      CycleHasMem = true;
+      LdstBusyUntil =
+          std::max(LdstBusyUntil, static_cast<double>(Cycle)) +
+          ldstPipeCycles(M, I);
+    }
+    for (const DepEdge &E : Succs[Best]) {
+      EarliestStart[E.To] =
+          std::max(EarliestStart[E.To], Cycle + E.Latency);
+      if (--Pending[E.To] == 0)
+        Avail.push_back(E.To);
+    }
+    if (--SlotsLeft == 0) {
+      Cycle += Step;
+      SlotsLeft = Width;
+      CycleHasMem = false;
+    }
+  }
+  return Order;
+}
+
+int RegionScheduler::run() {
+  if (N < 2)
+    return 0;
+  buildDag();
+  computeHeights();
+  std::vector<int> Order = listSchedule();
+
+  int Moved = 0;
+  std::vector<Instruction> Original(Code.begin() + Begin,
+                                    Code.begin() + Begin + N);
+  for (size_t Slot = 0; Slot < N; ++Slot) {
+    if (Order[Slot] != static_cast<int>(Slot))
+      ++Moved;
+    Code[Begin + Slot] = Original[Order[Slot]];
+  }
+  return Moved;
+}
+
+} // namespace
+
+SchedulerStats gpuperf::scheduleKernel(const MachineDesc &M, Kernel &K) {
+  SchedulerStats Stats;
+  size_t N = K.Code.size();
+
+  // Branch targets start new regions: reordering across them would change
+  // what a taken branch lands on.
+  std::vector<char> IsLeader(N, 0);
+  for (size_t PC = 0; PC < N; ++PC) {
+    const Instruction &I = K.Code[PC];
+    if (I.Op != Opcode::BRA)
+      continue;
+    long Target = static_cast<long>(PC) + 1 + I.Imm;
+    if (Target >= 0 && Target < static_cast<long>(N))
+      IsLeader[Target] = 1;
+  }
+
+  // Straight-line regions: maximal runs free of control instructions and
+  // branch targets. Control instructions stay exactly where they are, so
+  // every relative branch offset remains valid.
+  size_t Start = 0;
+  for (size_t PC = 0; PC <= N; ++PC) {
+    bool AtEnd = PC == N;
+    bool Control = !AtEnd && isControl(K.Code[PC]);
+    bool Leader = !AtEnd && IsLeader[PC];
+    if (!AtEnd && !Control && !Leader)
+      continue;
+    if (PC > Start) {
+      ++Stats.Regions;
+      RegionScheduler RS(M, K.Code, Start, PC);
+      Stats.Moved += RS.run();
+    }
+    Start = Control ? PC + 1 : PC;
+  }
+
+  // Notation handoff: the control words must describe the order we just
+  // built, not the one the generator emitted. Only kernels that already
+  // carry notations are re-tuned -- a deliberately notation-free kernel
+  // (NotationQuality::None) stays that way.
+  if (M.Generation == GpuGeneration::Kepler && K.hasNotations())
+    tuneNotations(M, K, NotationQuality::Tuned);
+
+  return Stats;
+}
+
+int gpuperf::rotateRegisterBanks(const MachineDesc &M, Kernel &K) {
+  if (M.RegisterFileBanks <= 0)
+    return 0;
+
+  // Registers whose index must not change: anything touched by a wide
+  // (64/128-bit) memory access, where the ISA implies consecutive and
+  // aligned register pairs/quads; and anything at or above the kernel's
+  // register count, so regsUsed() -- and with it occupancy -- cannot grow.
+  std::vector<char> Pinned(64, 0);
+  Pinned[RegRZ] = 1;
+  for (const Instruction &I : K.Code) {
+    if (!isMemOp(I) || I.Width == MemWidth::B32)
+      continue;
+    for (uint8_t Reg : I.sourceRegs())
+      Pinned[Reg] = 1;
+    for (uint8_t Reg : I.destRegs())
+      Pinned[Reg] = 1;
+  }
+
+  // The objective: total issue-slot surcharge of math source-operand bank
+  // conflicts (the ExtraSlots term of bankConflictExtraCycles), evaluated
+  // on the distinct-source tuples under a candidate renaming.
+  struct Tuple {
+    RegList Regs;
+    bool QuarterRate;
+  };
+  std::vector<Tuple> Tuples;
+  for (const Instruction &I : K.Code) {
+    OpClass Class = opcodeInfo(I.Op).Class;
+    if (Class != OpClass::FloatMath && Class != OpClass::IntMath &&
+        Class != OpClass::IntMulMath && Class != OpClass::Move)
+      continue;
+    Tuple T;
+    T.QuarterRate = Class == OpClass::IntMulMath;
+    bool ImmSlot1 = I.immReplacesSrc1();
+    for (int Slot = 0; Slot < opcodeInfo(I.Op).NumSrcRegs; ++Slot) {
+      if (ImmSlot1 && Slot == 1)
+        continue;
+      uint8_t Reg = I.Src[Slot];
+      if (Reg == RegRZ || T.Regs.contains(Reg))
+        continue;
+      T.Regs.push(Reg);
+    }
+    if (T.Regs.Count >= 2)
+      Tuples.push_back(T);
+  }
+  if (Tuples.empty())
+    return 0;
+
+  std::vector<uint8_t> Perm(64);
+  for (int Reg = 0; Reg < 64; ++Reg)
+    Perm[Reg] = static_cast<uint8_t>(Reg);
+
+  auto tupleCost = [&](const Tuple &T) {
+    int Load[NumRegBanks] = {0, 0, 0, 0};
+    int Degree = 1;
+    for (uint8_t Reg : T.Regs) {
+      int Bank = registerBankIndex(Perm[Reg]);
+      Degree = std::max(Degree, ++Load[Bank]);
+    }
+    return T.QuarterRate ? std::max(0, Degree - 2) : Degree - 1;
+  };
+  auto totalCost = [&]() {
+    long Cost = 0;
+    for (const Tuple &T : Tuples)
+      Cost += tupleCost(T);
+    return Cost;
+  };
+
+  // Deterministic greedy hill climb over register transpositions: try
+  // every unpinned cross-bank pair, keep a swap when it strictly lowers
+  // the surcharge, repeat to a fixpoint (bounded for safety).
+  int UpperBound = std::min<int>(K.RegsPerThread, MaxGPRIndex + 1);
+  long Cost = totalCost();
+  int Swaps = 0;
+  for (int Pass = 0; Pass < 8 && Cost > 0; ++Pass) {
+    bool Improved = false;
+    for (int A = 0; A < UpperBound; ++A) {
+      if (Pinned[A])
+        continue;
+      for (int B = A + 1; B < UpperBound; ++B) {
+        if (Pinned[B])
+          continue;
+        if (registerBank(Perm[A]) == registerBank(Perm[B]))
+          continue;
+        std::swap(Perm[A], Perm[B]);
+        long Candidate = totalCost();
+        if (Candidate < Cost) {
+          Cost = Candidate;
+          ++Swaps;
+          Improved = true;
+        } else {
+          std::swap(Perm[A], Perm[B]);
+        }
+      }
+    }
+    if (!Improved)
+      break;
+  }
+  if (Swaps == 0)
+    return 0;
+
+  // Apply the renaming uniformly: every read and write of register R
+  // becomes Perm[R], so the execution is isomorphic. ISETP's Dst is a
+  // predicate index and stays untouched; wide-access registers are pinned
+  // above, so Perm is the identity on them.
+  for (Instruction &I : K.Code) {
+    for (uint8_t &Src : I.Src)
+      Src = Perm[Src];
+    if (opcodeInfo(I.Op).HasDstReg)
+      I.Dst = Perm[I.Dst];
+  }
+  K.recomputeRegUsage();
+  return Swaps;
+}

@@ -1,0 +1,71 @@
+//===- kernelgen/Scheduler.h - latency/port-aware list scheduler -*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A latency- and port-aware list scheduler for generated kernels, the
+/// Section 5.3 optimization done properly: instead of the fixed "drip"
+/// interleave (one prefetch load after each shared load), build the
+/// dependence DAG of every straight-line region, model the machine's
+/// issue width, dual-issue pairing and LD/ST throughput, and re-emit each
+/// region with long-latency prefetch instructions placed into the cycles
+/// the critical path genuinely leaves idle.
+///
+/// The pass never moves control instructions and never reorders across a
+/// branch target, so every BRA offset stays valid; instruction counts are
+/// preserved exactly. On Kepler the pass hands the final order back to
+/// the NotationTuner so the control words describe the schedule that was
+/// actually built rather than being retrofitted per opcode.
+///
+/// rotateRegisterBanks is the companion operand-mapping pass (Table 2 /
+/// Figure 9): a bijective renaming of the architectural registers that
+/// hill-climbs the FFMA source-operand bank conflicts down, leaving
+/// registers that participate in wide (64/128-bit) accesses pinned so
+/// pair alignment survives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_KERNELGEN_SCHEDULER_H
+#define GPUPERF_KERNELGEN_SCHEDULER_H
+
+#include "arch/MachineDesc.h"
+#include "isa/Module.h"
+
+namespace gpuperf {
+
+/// How the generator orders the main-loop body.
+enum class SgemmSchedule {
+  Drip, ///< Section 5.3 fixed interleave (one prefetch per shared load).
+  List, ///< Dependence-DAG list scheduling (this pass).
+};
+
+const char *sgemmScheduleName(SgemmSchedule S);
+
+/// Outcome summary of a scheduling pass (for reports and tests).
+struct SchedulerStats {
+  int Regions = 0;   ///< Straight-line regions considered.
+  int Moved = 0;     ///< Instructions whose position changed.
+  int BankSwaps = 0; ///< Register transpositions applied by rotation.
+};
+
+/// List-schedules every straight-line region of \p K for machine \p M.
+/// Instruction counts and control-instruction positions are preserved
+/// (branch offsets stay valid); only data instructions move, and only
+/// within their region. On Kepler kernels that carry control notations,
+/// the notations are regenerated dependence-aware so they match the new
+/// order.
+SchedulerStats scheduleKernel(const MachineDesc &M, Kernel &K);
+
+/// Applies a bijective register renaming to \p K that reduces the total
+/// register-bank-conflict surcharge of its math instructions (Section
+/// 3.3 / Table 2). Registers touched by wide memory accesses are pinned,
+/// as is every index >= K.RegsPerThread (so occupancy cannot regress).
+/// Returns the number of transpositions applied; 0 on machines without a
+/// banked register file.
+int rotateRegisterBanks(const MachineDesc &M, Kernel &K);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_KERNELGEN_SCHEDULER_H

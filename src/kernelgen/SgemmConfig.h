@@ -18,6 +18,7 @@
 
 #include "asmtool/NotationTuner.h"
 #include "isa/Instruction.h"
+#include "kernelgen/Scheduler.h"
 
 #include <string>
 
@@ -61,6 +62,12 @@ struct SgemmKernelConfig {
   MemWidth LdsWidth = MemWidth::B64; ///< B32 or B64 (Section 4.1 choice).
   RegAllocKind RegAlloc = RegAllocKind::BankAware;
   bool Reorder = true; ///< Section 5.3 instruction interleaving.
+  /// How the main-loop body is ordered: the fixed drip interleave (which
+  /// honours Reorder) or the dependence-DAG list scheduler, which emits
+  /// the plain layout and lets the scheduler place prefetches into real
+  /// stall slots (plus bank rotation and a schedule-matched notation
+  /// re-tune on Kepler).
+  SgemmSchedule Schedule = SgemmSchedule::Drip;
   NotationQuality Notation = NotationQuality::Heuristic;
   /// Emulate compiler register spills (Section 5.5's MAGMA-on-Kepler
   /// behaviour): most prefetch registers live in local memory.

@@ -7,6 +7,7 @@
 #include "kernelgen/SgemmGenerator.h"
 
 #include "isa/Encoding.h"
+#include "kernelgen/Scheduler.h"
 #include "support/Format.h"
 
 #include <cassert>
@@ -28,13 +29,18 @@ const char *gpuperf::gemmVariantName(GemmVariant V) {
 }
 
 std::string SgemmKernelConfig::kernelName() const {
+  std::string Suffix;
+  if (EmulateSpills)
+    Suffix += "_spill";
+  if (Schedule == SgemmSchedule::List)
+    Suffix += "_sched";
   return formatString(
       "sgemm_%s_br%d_%s_%s%s", gemmVariantName(Variant), BR,
       LdsWidth == MemWidth::B64 ? "lds64" : "lds32",
       RegAlloc == RegAllocKind::BankAware  ? "bankaware"
       : RegAlloc == RegAllocKind::Compiler ? "compiler"
                                            : "naive",
-      EmulateSpills ? "_spill" : "");
+      Suffix.c_str());
 }
 
 SgemmLaunchShape gpuperf::sgemmLaunchShape(const SgemmKernelConfig &Cfg) {
@@ -74,6 +80,13 @@ public:
     K.Code = std::move(Code);
     K.recomputeRegUsage();
     tuneNotations(M, K, Cfg.Notation);
+    if (Cfg.Schedule == SgemmSchedule::List) {
+      // The list pipeline: bank-rotate operands first (it changes which
+      // pairings conflict, not the DAG), then schedule; on Kepler the
+      // scheduler re-tunes the notations to match its final order.
+      rotateRegisterBanks(M, K);
+      scheduleKernel(M, K);
+    }
     return K;
   }
 
@@ -325,11 +338,18 @@ private:
     }
   }
 
+  /// Whether the fixed drip interleave shapes the emission. The list
+  /// scheduler wants the plain everything-up-front layout instead: it
+  /// finds the stall slots from the dependence DAG itself.
+  bool dripReorder() const {
+    return Cfg.Reorder && Cfg.Schedule == SgemmSchedule::Drip;
+  }
+
   void emitMainIteration(bool Prefetch) {
     std::vector<Instruction> Interleaved;
     size_t InterleavePos = 0;
     if (Prefetch) {
-      if (Cfg.Reorder) {
+      if (dripReorder()) {
         emitPrefetchLoads(&Interleaved);
       } else {
         // Unoptimized schedule: everything up front (Section 5.3 is the
@@ -340,15 +360,15 @@ private:
       }
     }
     for (int K = 0; K < Cfg.L; ++K)
-      emitKStep(K, Cfg.Reorder && Prefetch ? &Interleaved : nullptr,
+      emitKStep(K, dripReorder() && Prefetch ? &Interleaved : nullptr,
                 InterleavePos);
     // Any prefetch loads that did not fit the drip slots.
     for (; InterleavePos < Interleaved.size(); ++InterleavePos)
       Code.push_back(Interleaved[InterleavePos]);
     if (Prefetch) {
       Code.push_back(makeBAR());
-      emitPanelStores(/*PointersAdvanced=*/!Cfg.Reorder);
-      if (Cfg.Reorder) {
+      emitPanelStores(/*PointersAdvanced=*/!dripReorder());
+      if (dripReorder()) {
         // Section 5.3: mix address bookkeeping into the store section.
         emitPointerAdvance();
         Code.push_back(makeIADDImm(Map.RLoop, Map.RLoop, -1));

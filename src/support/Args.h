@@ -21,6 +21,9 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <string>
 
 namespace gpuperf {
 
@@ -67,6 +70,30 @@ parseUnsigned(const char *Text, unsigned long long Max) {
     return Result::error(formatString(
         "'%s' is out of range [0, %llu]", Text, Max));
   return V;
+}
+
+/// Parses \p Text against a fixed set of spelled-out choices and returns
+/// the index of the match within \p Choices. Enumerated flags
+/// ("--notation tuned", "--schedule list") go through this instead of
+/// ad-hoc strcmp chains that silently fall back on a default: a typo
+/// fails with a message listing every valid spelling.
+inline Expected<int>
+parseChoice(const char *Text, std::initializer_list<const char *> Choices) {
+  using Result = Expected<int>;
+  if (!Text || !*Text)
+    return Result::error("expected a value, got an empty string");
+  std::string Valid;
+  int Index = 0;
+  for (const char *Choice : Choices) {
+    if (std::strcmp(Text, Choice) == 0)
+      return Index;
+    if (!Valid.empty())
+      Valid += "|";
+    Valid += Choice;
+    ++Index;
+  }
+  return Result::error(
+      formatString("'%s' is not one of %s", Text, Valid.c_str()));
 }
 
 } // namespace gpuperf

@@ -182,3 +182,52 @@ TEST(Occupancy, LimitNamesAreStable) {
   EXPECT_STREQ(occupancyLimitName(OccupancyLimit::SharedMemory),
                "shared memory");
 }
+
+TEST(Occupancy, SingleLimitBindsAlone) {
+  // The Fermi SGEMM configuration is register-bound and nothing else:
+  // BindingLimits must contain exactly that one bit.
+  KernelResources Res;
+  Res.RegsPerThread = 63;
+  Res.ThreadsPerBlock = 256;
+  Res.SharedBytesPerBlock = 2 * 96 * 16 * 4;
+  Occupancy O = computeOccupancy(gtx580(), Res);
+  EXPECT_EQ(O.BindingLimits, occupancyLimitBit(OccupancyLimit::Registers));
+  EXPECT_TRUE(O.limitBinds(OccupancyLimit::Registers));
+  EXPECT_FALSE(O.limitBinds(OccupancyLimit::ThreadsPerSM));
+  EXPECT_EQ(occupancyBindingLimitNames(O), "registers");
+}
+
+TEST(Occupancy, RegisterThreadTieIsDeterministic) {
+  // 21 regs x 512 threads: Equation 1 gives 32K/10752 = 3 blocks, and the
+  // 1536-thread cap gives 1536/512 = 3 as well. Both bind; the attributed
+  // Limit is the documented priority winner (registers).
+  KernelResources Res;
+  Res.RegsPerThread = 21;
+  Res.ThreadsPerBlock = 512;
+  Occupancy O = computeOccupancy(gtx580(), Res);
+  EXPECT_EQ(O.ActiveBlocks, 3);
+  EXPECT_EQ(O.Limit, OccupancyLimit::Registers);
+  EXPECT_TRUE(O.limitBinds(OccupancyLimit::Registers));
+  EXPECT_TRUE(O.limitBinds(OccupancyLimit::ThreadsPerSM));
+  EXPECT_FALSE(O.limitBinds(OccupancyLimit::SharedMemory));
+  EXPECT_FALSE(O.limitBinds(OccupancyLimit::BlocksPerSM));
+  EXPECT_EQ(occupancyBindingLimitNames(O),
+            "registers + max threads per SM");
+}
+
+TEST(Occupancy, SharedBlockTieIsDeterministic) {
+  // 6 KB of shared per block: 48K/6K = 8 blocks, exactly the hardware
+  // block cap. Shared memory outranks the block cap in the priority.
+  KernelResources Res;
+  Res.RegsPerThread = 10;
+  Res.ThreadsPerBlock = 96;
+  Res.SharedBytesPerBlock = 6 * 1024;
+  Occupancy O = computeOccupancy(gtx580(), Res);
+  EXPECT_EQ(O.ActiveBlocks, 8);
+  EXPECT_EQ(O.Limit, OccupancyLimit::SharedMemory);
+  EXPECT_TRUE(O.limitBinds(OccupancyLimit::SharedMemory));
+  EXPECT_TRUE(O.limitBinds(OccupancyLimit::BlocksPerSM));
+  EXPECT_FALSE(O.limitBinds(OccupancyLimit::Registers));
+  EXPECT_EQ(occupancyBindingLimitNames(O),
+            "shared memory + max blocks per SM");
+}

@@ -12,9 +12,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "sgemm/Reference.h"
 #include "sgemm/SgemmRunner.h"
+#include "support/MathUtils.h"
+#include "support/Rng.h"
 
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
 
 using namespace gpuperf;
 
@@ -139,6 +145,125 @@ TEST(Sgemm, SingleKPanel) {
   SgemmRunResult R = mustRun(gtx580(), SgemmImpl::AsmTuned,
                              problem(GemmVariant::NN, 96, 96, 16));
   EXPECT_TRUE(R.Verified);
+}
+
+namespace {
+
+uint32_t floatBits(float F) {
+  uint32_t U;
+  std::memcpy(&U, &F, 4);
+  return U;
+}
+
+} // namespace
+
+TEST(Sgemm, PaddedBetaTermNeverReadsPaddingGarbage) {
+  // The runner's own Verify compares the padded kernel result against a
+  // reference run on the *same* padded buffers, so padding values
+  // leaking into the true region of C through the beta term would
+  // cancel out and pass unnoticed. This test drives the kernel
+  // directly: every padded element of the C image holds a huge
+  // sentinel, and the true region is checked bit-for-bit against a
+  // reference computed on compact, never-padded copies. A and B keep
+  // zero padding -- the kernel's K loop runs over the padded K, and
+  // those terms must contribute exact-zero FMA no-ops.
+  const float Alpha = 1.5f, Beta = -0.75f;
+  const int TM = 100, TN = 50, TK = 33; // Padding in every dimension.
+  for (const MachineDesc *MachP : {&gtx580(), &gtx680()}) {
+    const MachineDesc &Mach = *MachP;
+    for (GemmVariant V : {GemmVariant::NN, GemmVariant::NT,
+                          GemmVariant::TN, GemmVariant::TT}) {
+      SgemmKernelConfig Cfg =
+          baselineConfig(SgemmImpl::AsmTuned, Mach, V, TM, TN, TK);
+      const int BSh = Cfg.blockTile();
+      const int MPad = static_cast<int>(alignTo(TM, BSh));
+      const int NPad = static_cast<int>(alignTo(TN, BSh));
+      const int KPad = static_cast<int>(alignTo(TK, Cfg.L));
+      Cfg.Variant = V;
+      Cfg.M = MPad;
+      Cfg.N = NPad;
+      Cfg.K = KPad;
+      Cfg.Lda = transA(V) ? KPad : MPad;
+      Cfg.Ldb = transB(V) ? NPad : KPad;
+      Cfg.Ldc = MPad;
+      auto K = generateSgemmKernel(Mach, Cfg);
+      ASSERT_TRUE(K.hasValue()) << K.message();
+
+      // Padded device images (column-major, Ld == padded rows).
+      const int ARows = Cfg.Lda, ATrueR = transA(V) ? TK : TM,
+                ATrueC = transA(V) ? TM : TK;
+      const int BRows = Cfg.Ldb, BTrueR = transB(V) ? TN : TK,
+                BTrueC = transB(V) ? TK : TN;
+      std::vector<float> A(size_t(ARows) * (transA(V) ? MPad : KPad), 0.0f);
+      std::vector<float> B(size_t(BRows) * (transB(V) ? KPad : NPad), 0.0f);
+      std::vector<float> C(size_t(MPad) * NPad, 1e30f);
+      Rng R(7);
+      for (int Col = 0; Col < ATrueC; ++Col)
+        for (int Row = 0; Row < ATrueR; ++Row)
+          A[size_t(Col) * ARows + Row] = R.nextUnitFloat();
+      for (int Col = 0; Col < BTrueC; ++Col)
+        for (int Row = 0; Row < BTrueR; ++Row)
+          B[size_t(Col) * BRows + Row] = R.nextUnitFloat();
+      for (int Col = 0; Col < TN; ++Col)
+        for (int Row = 0; Row < TM; ++Row)
+          C[size_t(Col) * MPad + Row] = R.nextUnitFloat();
+
+      // Compact copies that have never seen a padded element.
+      std::vector<float> ARef(size_t(ATrueR) * ATrueC);
+      std::vector<float> BRef(size_t(BTrueR) * BTrueC);
+      std::vector<float> CRef(size_t(TM) * TN);
+      for (int Col = 0; Col < ATrueC; ++Col)
+        for (int Row = 0; Row < ATrueR; ++Row)
+          ARef[size_t(Col) * ATrueR + Row] = A[size_t(Col) * ARows + Row];
+      for (int Col = 0; Col < BTrueC; ++Col)
+        for (int Row = 0; Row < BTrueR; ++Row)
+          BRef[size_t(Col) * BTrueR + Row] = B[size_t(Col) * BRows + Row];
+      for (int Col = 0; Col < TN; ++Col)
+        for (int Row = 0; Row < TM; ++Row)
+          CRef[size_t(Col) * TM + Row] = C[size_t(Col) * MPad + Row];
+      referenceSgemm(V, TM, TN, TK, Alpha, ARef.data(), ATrueR,
+                     BRef.data(), BTrueR, Beta, CRef.data(), TM);
+
+      GlobalMemory GM((A.size() + B.size() + C.size()) * 4 + (1 << 16));
+      auto Upload = [&GM](const std::vector<float> &Mx) {
+        uint32_t Addr = GM.allocate(Mx.size() * 4);
+        for (size_t I = 0; I < Mx.size(); ++I)
+          GM.storeFloat(static_cast<uint32_t>(Addr + 4 * I), Mx[I]);
+        return Addr;
+      };
+      uint32_t AAddr = Upload(A), BAddr = Upload(B), CAddr = Upload(C);
+
+      SgemmLaunchShape Shape = sgemmLaunchShape(Cfg);
+      LaunchConfig Launch;
+      Launch.Dims.GridX = Shape.GridX;
+      Launch.Dims.GridY = Shape.GridY;
+      Launch.Dims.BlockX = Shape.BlockX;
+      Launch.Params = {AAddr, BAddr, CAddr, floatBits(Alpha),
+                       floatBits(Beta)};
+      Launch.Mode = SimMode::Full;
+      auto LR = launchKernel(Mach, *K, Launch, GM);
+      ASSERT_TRUE(LR.hasValue()) << Mach.Name << " "
+                                 << gemmVariantName(V) << ": "
+                                 << LR.message();
+
+      // Bit-exact comparison catches NaN/Inf contamination that a
+      // tolerance check would mishandle.
+      int Mismatches = 0;
+      for (int Col = 0; Col < TN; ++Col)
+        for (int Row = 0; Row < TM; ++Row) {
+          float Got = GM.loadFloat(static_cast<uint32_t>(
+              CAddr + 4 * (size_t(Col) * MPad + Row)));
+          float Want = CRef[size_t(Col) * TM + Row];
+          if (floatBits(Got) != floatBits(Want) && ++Mismatches <= 3) {
+            ADD_FAILURE()
+                << Mach.Name << " " << gemmVariantName(V) << " C(" << Row
+                << "," << Col << "): got " << Got << " want " << Want;
+          }
+        }
+      EXPECT_EQ(Mismatches, 0)
+          << Mach.Name << " " << gemmVariantName(V);
+    }
+  }
 }
 
 TEST(Sgemm, BetaZeroIgnoresC) {

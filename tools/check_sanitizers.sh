@@ -30,7 +30,9 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
 
 # ThreadSanitizer pass: TSan is mutually exclusive with ASan, so it
 # needs its own build tree. Only the suites that spawn threads are run
-# -- the serial suites cannot race and TSan slows them ~10x.
+# -- the serial suites cannot race and TSan slows them ~10x. The
+# scheduler suite is threaded through its Jobs=2 padded-verify case, so
+# it rides along.
 TSAN_BUILD="$BUILD-tsan"
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -39,4 +41,4 @@ cmake --build "$TSAN_BUILD" -j"$(nproc)"
 
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R '(support|parallel_sim|perf_cache|stats)_test|trace_smoke' "$@"
+    -R '(support|parallel_sim|perf_cache|stats|scheduler)_test|trace_smoke' "$@"

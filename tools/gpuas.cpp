@@ -14,6 +14,7 @@
 
 #include "asmtool/Assembler.h"
 #include "asmtool/NotationTuner.h"
+#include "support/Args.h"
 
 #include <cstdio>
 #include <cstring>
@@ -37,28 +38,44 @@ static int usage() {
 int main(int Argc, char **Argv) {
   const char *Input = nullptr;
   std::string Output;
-  const char *Notation = nullptr;
+  bool HaveNotation = false;
+  NotationQuality Notation = NotationQuality::Heuristic;
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "-o") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "gpuas: -o: expected an output path\n");
+        return usage();
+      }
       Output = Argv[++I];
-    else if (std::strcmp(Argv[I], "--notation") == 0 && I + 1 < Argc)
-      Notation = Argv[++I];
-    else if (Argv[I][0] == '-')
+    } else if (std::strcmp(Arg, "--notation") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "gpuas: --notation: expected a quality\n");
+        return usage();
+      }
+      Expected<int> Choice =
+          parseChoice(Argv[++I], {"none", "heuristic", "tuned"});
+      if (!Choice.hasValue()) {
+        std::fprintf(stderr, "gpuas: --notation: %s\n",
+                     Choice.message().c_str());
+        return usage();
+      }
+      Notation = *Choice == 0   ? NotationQuality::None
+                 : *Choice == 1 ? NotationQuality::Heuristic
+                                : NotationQuality::Tuned;
+      HaveNotation = true;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "gpuas: unknown option '%s'\n", Arg);
       return usage();
-    else if (!Input)
-      Input = Argv[I];
-    else
+    } else if (!Input) {
+      Input = Arg;
+    } else {
+      std::fprintf(stderr, "gpuas: unexpected extra operand '%s'\n", Arg);
       return usage();
+    }
   }
   if (!Input)
     return usage();
-  if (Notation && std::strcmp(Notation, "none") != 0 &&
-      std::strcmp(Notation, "heuristic") != 0 &&
-      std::strcmp(Notation, "tuned") != 0) {
-    std::fprintf(stderr, "gpuas: unknown --notation quality '%s'\n",
-                 Notation);
-    return usage();
-  }
   if (Output.empty()) {
     Output = Input;
     size_t Dot = Output.rfind('.');
@@ -80,11 +97,10 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "gpuas: %s: %s\n", Input, M.message().c_str());
     return 1;
   }
-  if (Notation) {
+  if (HaveNotation) {
     if (M->Arch == GpuGeneration::Kepler) {
-      NotationQuality Q = parseNotationQuality(Notation);
       for (Kernel &K : M->Kernels)
-        tuneNotations(gtx680(), K, Q);
+        tuneNotations(gtx680(), K, Notation);
     } else {
       std::fprintf(stderr,
                    "gpuas: warning: --notation ignored for non-Kepler "

@@ -18,21 +18,37 @@
 
 using namespace gpuperf;
 
+static int usage() {
+  std::fprintf(stderr,
+               "usage: gpudis module.gpub [--report]\n"
+               "\n"
+               "  --report  print the static analysis report (instruction\n"
+               "            mix, FFMA operand bank census) per kernel\n"
+               "\n"
+               "exit codes: 0 ok, 1 read error, 2 usage\n");
+  return 2;
+}
+
 int main(int Argc, char **Argv) {
   const char *Input = nullptr;
   bool Report = false;
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--report") == 0)
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--report") == 0) {
       Report = true;
-    else if (!Input)
-      Input = Argv[I];
-    else
-      Input = nullptr;
+    } else if (Arg[0] == '-') {
+      // A misspelled flag must not be silently opened as an input file.
+      std::fprintf(stderr, "gpudis: unknown option '%s'\n", Arg);
+      return usage();
+    } else if (!Input) {
+      Input = Arg;
+    } else {
+      std::fprintf(stderr, "gpudis: unexpected extra operand '%s'\n", Arg);
+      return usage();
+    }
   }
-  if (!Input) {
-    std::fprintf(stderr, "usage: gpudis module.gpub [--report]\n");
-    return 2;
-  }
+  if (!Input)
+    return usage();
   auto M = Module::readFromFile(Input);
   if (!M) {
     std::fprintf(stderr, "gpudis: %s\n", M.message().c_str());

@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "kernelgen/Scheduler.h"
 #include "sim/Launcher.h"
 #include "support/Args.h"
 #include "support/Format.h"
@@ -36,8 +37,14 @@ static int usage() {
       "usage: gpurun module.gpub [kernel] [--machine GTX580|GTX680]\n"
       "              [--grid X[,Y]] [--block N] [--param word]...\n"
       "              [--mem bytes] [--watchdog cycles] [--jobs N]\n"
-      "              [--metrics] [--trace FILE]\n"
+      "              [--metrics] [--trace FILE] [--schedule drip|list]\n"
       "\n"
+      "  --schedule list     re-schedule the kernel before launching:\n"
+      "                      bank-rotate math operands, list-schedule\n"
+      "                      every straight-line region against the\n"
+      "                      machine's latency/issue model, and (Kepler)\n"
+      "                      regenerate the control notations to match;\n"
+      "                      'drip' (default) runs the module as loaded\n"
       "  --watchdog cycles   per-wave cycle budget before the launch\n"
       "                      fails with a WATCHDOG_TIMEOUT trap\n"
       "                      (default: derived from code size and warps)\n"
@@ -91,6 +98,7 @@ int main(int Argc, char **Argv) {
   Config.Jobs = 0; // The CLI defaults to one job per hardware thread.
   size_t MemBytes = 0;
   bool Metrics = false;
+  bool Reschedule = false;
   std::string TracePath;
   SimTrace Trace;
 
@@ -125,6 +133,14 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
       Config.Jobs =
           static_cast<int>(flagInt("--jobs", Argv[++I], 0, 65536));
+    } else if (std::strcmp(Argv[I], "--schedule") == 0 && I + 1 < Argc) {
+      auto Choice = parseChoice(Argv[++I], {"drip", "list"});
+      if (!Choice) {
+        std::fprintf(stderr, "gpurun: --schedule: %s\n",
+                     Choice.message().c_str());
+        return 2;
+      }
+      Reschedule = *Choice == 1;
     } else if (std::strcmp(Argv[I], "--metrics") == 0) {
       Metrics = true;
     } else if (std::strcmp(Argv[I], "--trace") == 0 && I + 1 < Argc) {
@@ -159,6 +175,17 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "gpurun: kernel not found\n");
     return 1;
   }
+  Kernel Scheduled;
+  if (Reschedule) {
+    Scheduled = *K;
+    int Swaps = rotateRegisterBanks(*M, Scheduled);
+    SchedulerStats SS = scheduleKernel(*M, Scheduled);
+    std::printf("schedule           %d region%s, %d instruction%s moved, "
+                "%d bank swap%s\n",
+                SS.Regions, SS.Regions == 1 ? "" : "s", SS.Moved,
+                SS.Moved == 1 ? "" : "s", Swaps, Swaps == 1 ? "" : "s");
+    K = &Scheduled;
+  }
 
   GlobalMemory GM;
   if (MemBytes) {
@@ -187,7 +214,7 @@ int main(int Argc, char **Argv) {
               "(%d blocks/SM resident, limited by %s)\n",
               K->Name.c_str(), M->Name.c_str(), Config.Dims.GridX,
               Config.Dims.GridY, Config.Dims.BlockX, R->Occ.ActiveBlocks,
-              occupancyLimitName(R->Occ.Limit));
+              occupancyBindingLimitNames(R->Occ).c_str());
   std::printf("cycles             %12.0f\n", R->TotalCycles);
   std::printf("time               %12.3f us\n", R->seconds(*M) * 1e6);
   std::printf("thread insts       %12llu (%.2f per cycle per SM)\n",

@@ -57,6 +57,21 @@ for BENCH in "${BENCHES[@]}"; do
   fi
 done
 
+# Scheduled-kernel variants: the two benches whose kernels honour
+# --schedule are re-run under the list scheduler so the drip-vs-list
+# comparison is part of every suite collection.
+for BENCH in upper_bound_analysis ablation_optimizations; do
+  echo "== $BENCH --schedule list" >&2
+  if ! "$BUILD/bench/$BENCH" --jobs "$JOBS" --cache "$CACHE" \
+      --schedule list --json "$OUT/${BENCH}_sched_sim.json" \
+      > "$OUT/${BENCH}_sched.txt"; then
+    STATUS=$?
+    echo "error: bench '$BENCH --schedule list' failed with exit status" \
+         "$STATUS (partial output in $OUT/${BENCH}_sched.txt)" >&2
+    exit "$STATUS"
+  fi
+done
+
 echo >&2
 echo "metrics ($OUT/*_sim.json):" >&2
 cat "$OUT"/*_sim.json
