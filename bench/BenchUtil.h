@@ -16,6 +16,7 @@
 #ifndef GPUPERF_BENCH_BENCHUTIL_H
 #define GPUPERF_BENCH_BENCHUTIL_H
 
+#include "analysis/HotspotReport.h"
 #include "kernelgen/Scheduler.h"
 #include "sim/SMSimulator.h"
 #include "support/Args.h"
@@ -51,9 +52,11 @@ inline void benchPrint(const std::string &Text) {
 /// Flags:
 ///   --jobs N     worker threads for sweeps/launches (0 = one per
 ///                hardware thread, the default; 1 = fully serial)
-///   --json PATH  write {"bench","jobs","sim_cycles","wall_seconds",
-///                "sim_cycles_per_sec","issue_slots":{per-cause
-///                slot counts over the whole run}} to PATH on exit
+///   --json PATH  write {"schema_version","record":"bench","bench",
+///                "machines","schedule","jobs","sim_cycles",
+///                "wall_seconds","sim_cycles_per_sec","issue_slots":
+///                {per-cause slot counts over the whole run}} to PATH
+///                on exit -- the shape tools/perfdiff gates on
 ///   --cache PATH persistent PerfDatabase file (default:
 ///                PerfDatabase::defaultCachePath())
 ///   --no-cache   in-memory PerfDatabase only; force remeasurement
@@ -123,7 +126,19 @@ public:
     StallBreakdown End = totalIssueSlotBreakdown();
     JsonWriter W;
     W.beginObject();
+    // perfdiff refuses to compare records across schema versions or
+    // across differing simulated-machine sets, so both are part of
+    // every record.
+    W.kv("schema_version", MetricsSchemaVersion);
+    W.kv("record", "bench");
     W.kv("bench", Name);
+    W.key("machines");
+    W.beginArray();
+    for (const std::string &MachineName : simulatedMachineNames())
+      W.value(MachineName);
+    W.endArray();
+    W.kv("schedule",
+         Schedule == SgemmSchedule::Drip ? "drip" : "list");
     W.kv("jobs", resolveJobs(Jobs));
     W.kv("sim_cycles", Cycles);
     W.key("wall_seconds");

@@ -1,0 +1,283 @@
+//===- analysis/HotspotReport.cpp - annotated per-PC profiles -------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/HotspotReport.h"
+
+#include "asmtool/Disassembler.h"
+#include "model/UpperBound.h"
+#include "support/Format.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace gpuperf;
+
+std::vector<HotRegion> gpuperf::findHotRegions(const Kernel &K,
+                                               const KernelProfile &P) {
+  std::set<std::pair<int, int>> Spans;
+  for (size_t Idx = 0; Idx < K.Code.size(); ++Idx) {
+    const Instruction &I = K.Code[Idx];
+    if (I.Op != Opcode::BRA)
+      continue;
+    int Target = static_cast<int>(Idx) + 1 + I.Imm;
+    if (Target < 0 || Target > static_cast<int>(Idx))
+      continue; // Forward branch (or out of range): not a loop.
+    Spans.insert({Target, static_cast<int>(Idx)});
+  }
+  std::vector<HotRegion> Regions;
+  for (auto [Begin, End] : Spans) {
+    HotRegion R;
+    R.Begin = Begin;
+    R.End = End;
+    if (!P.empty())
+      for (int PC = Begin; PC <= End; ++PC)
+        R.Totals.add(P.at(static_cast<size_t>(PC)));
+    Regions.push_back(R);
+  }
+  return Regions;
+}
+
+namespace {
+
+/// The cause losing the most slots at one PC ("-" when nothing lost).
+const char *topLossName(const PCCounters &C) {
+  size_t BestU = 0;
+  uint64_t BestN = 0;
+  for (size_t U = 0; U < NumSlotUses; ++U)
+    if (U != static_cast<size_t>(SlotUse::Issued) &&
+        C.StallSlots[U] > BestN) {
+      BestN = C.StallSlots[U];
+      BestU = U;
+    }
+  return BestN ? slotUseName(static_cast<SlotUse>(BestU)) : "-";
+}
+
+/// FFMA warp-instruction issues inside [Begin, End].
+uint64_t regionFfmaIssues(const Kernel &K, const KernelProfile &P,
+                          int Begin, int End) {
+  uint64_t N = 0;
+  for (int PC = Begin; PC <= End; ++PC)
+    if (K.Code[PC].Op == Opcode::FFMA)
+      N += P.at(static_cast<size_t>(PC)).Issues;
+  return N;
+}
+
+} // namespace
+
+std::string gpuperf::renderAnnotatedReport(const MachineDesc &M,
+                                           const Kernel &K,
+                                           const KernelProfile &P) {
+  KernelListing Listing = listKernel(K);
+  StallBreakdown B = P.breakdown();
+  uint64_t TotalSlots = B.total();
+  uint64_t LostSlots = B.lost();
+  double S = std::max(1, M.WarpSchedulersPerSM);
+
+  std::string Out;
+  Out += formatString("profile: kernel '%s' on %s\n", K.Name.c_str(),
+                      M.Name.c_str());
+  Out += formatString(
+      "  issue slots: %llu total, %llu issued (%.1f%%), %llu lost\n",
+      static_cast<unsigned long long>(TotalSlots),
+      static_cast<unsigned long long>(B[SlotUse::Issued]),
+      TotalSlots ? 100.0 * B[SlotUse::Issued] / TotalSlots : 0.0,
+      static_cast<unsigned long long>(LostSlots));
+  Out += formatString(
+      "  warp instructions: %llu (%llu as dual-issue pair seconds), "
+      "replay penalties: %llu\n\n",
+      static_cast<unsigned long long>(P.totalIssues()),
+      static_cast<unsigned long long>(P.totalDualIssues()),
+      static_cast<unsigned long long>(P.totalReplays()));
+
+  Out += formatString("  %5s %10s %8s %8s %10s %6s  %-14s %s\n", "PC",
+                      "issues", "dual", "replays", "lost", "lost%",
+                      "top cause", "instruction");
+  for (size_t PC = 0; PC < P.codeSize(); ++PC) {
+    const PCCounters &C = P.at(PC);
+    if (!Listing.Labels[PC].empty())
+      Out += Listing.Labels[PC] + ":\n";
+    uint64_t Lost = C.lostSlots();
+    Out += formatString(
+        "  %5zu %10llu %8llu %8llu %10llu %5.1f%%  %-14s %s\n", PC,
+        static_cast<unsigned long long>(C.Issues),
+        static_cast<unsigned long long>(C.DualIssues),
+        static_cast<unsigned long long>(C.Replays),
+        static_cast<unsigned long long>(Lost),
+        LostSlots ? 100.0 * static_cast<double>(Lost) /
+                        static_cast<double>(LostSlots)
+                  : 0.0,
+        topLossName(C), Listing.Lines[PC].c_str());
+  }
+  if (P.noPC().lostSlots() > 0)
+    Out += formatString(
+        "  %5s %10s %8s %8s %10llu %5.1f%%  %-14s %s\n", "-", "-", "-",
+        "-", static_cast<unsigned long long>(P.noPC().lostSlots()),
+        LostSlots ? 100.0 * static_cast<double>(P.noPC().lostSlots()) /
+                        static_cast<double>(LostSlots)
+                  : 0.0,
+        topLossName(P.noPC()),
+        "(no attributable instruction: drained schedulers)");
+
+  // Loop regions: achieved vs the structural issue bound of exactly the
+  // region's instructions.
+  std::vector<HotRegion> Regions = findHotRegions(K, P);
+  for (const HotRegion &R : Regions) {
+    RegionIssueBound Bound = regionIssueBound(M, K, R.Begin, R.End);
+    std::string Name = !Listing.Labels[R.Begin].empty()
+                           ? Listing.Labels[R.Begin]
+                           : formatString("PC%d", R.Begin);
+    Out += formatString("\nloop %s [%d..%d], %d instructions:\n",
+                        Name.c_str(), R.Begin, R.End, R.numInsts());
+    uint64_t T = R.totalSlots();
+    Out += formatString(
+        "  slots: %llu (%.1f%% of launch); issued %.1f%%",
+        static_cast<unsigned long long>(T),
+        TotalSlots ? 100.0 * static_cast<double>(T) /
+                         static_cast<double>(TotalSlots)
+                   : 0.0,
+        100.0 * R.issueEfficiency());
+    for (size_t U = 0; U < NumSlotUses; ++U) {
+      if (U == static_cast<size_t>(SlotUse::Issued))
+        continue;
+      double Share = R.slotShare(static_cast<SlotUse>(U));
+      if (Share > 0)
+        Out += formatString(", %s %.1f%%",
+                            slotUseName(static_cast<SlotUse>(U)),
+                            100.0 * Share);
+    }
+    Out += "\n";
+    // Cycles attributed to the region: its slots divided by the slots
+    // the SM's schedulers produce per cycle.
+    double Cycles = static_cast<double>(T) / S;
+    double AchievedWIPC =
+        Cycles > 0 ? static_cast<double>(R.Totals.Issues) / Cycles : 0.0;
+    uint64_t Ffma = regionFfmaIssues(K, P, R.Begin, R.End);
+    double AchievedFfma =
+        Cycles > 0 ? static_cast<double>(Ffma) * WarpSize / Cycles : 0.0;
+    Out += formatString(
+        "  achieved: %.2f warp insts/cycle, FFMA density %.1f thread "
+        "insts/cycle, issue efficiency %.1f%%\n",
+        AchievedWIPC, AchievedFfma, 100.0 * R.issueEfficiency());
+    Out += formatString(
+        "  bound (%s-bound): %.2f warp insts/cycle, FFMA density %.1f, "
+        "issue-slot need %.1f%%\n",
+        Bound.BindingResource, Bound.WarpInstsPerCycle,
+        Bound.FfmaThreadInstsPerCycle, 100.0 * Bound.IssueSlotFraction);
+    if (Bound.FfmaThreadInstsPerCycle > 0)
+      Out += formatString(
+          "  achieved/bound FFMA density: %.1f%%\n",
+          100.0 * AchievedFfma / Bound.FfmaThreadInstsPerCycle);
+  }
+  return Out;
+}
+
+std::string gpuperf::profileRecordJson(const MachineDesc &M,
+                                       const Kernel &K,
+                                       const KernelProfile &P,
+                                       const ProfileRecordInfo &Info) {
+  KernelListing Listing = listKernel(K);
+  StallBreakdown B = P.breakdown();
+  JsonWriter W;
+  W.beginObject();
+  W.kv("schema_version", MetricsSchemaVersion);
+  W.kv("record", "profile");
+  W.kv("machine", M.Name);
+  W.kv("kernel", K.Name);
+  W.key("config");
+  W.beginObject();
+  W.kv("grid", formatString("%dx%d", Info.GridX, Info.GridY));
+  W.kv("block", formatString("%dx%d", Info.BlockX, Info.BlockY));
+  if (!Info.Schedule.empty())
+    W.kv("schedule", Info.Schedule);
+  W.kv("regs", K.RegsPerThread);
+  W.kv("shared", K.SharedBytes);
+  W.endObject();
+  W.key("cycles");
+  W.value(Info.TotalCycles, 1);
+  W.key("totals");
+  W.beginObject();
+  W.kv("warp_insts", P.totalIssues());
+  W.kv("dual_issues", P.totalDualIssues());
+  W.kv("replays", P.totalReplays());
+  W.key("issue_slots");
+  W.beginObject();
+  for (size_t U = 0; U < NumSlotUses; ++U)
+    W.kv(slotUseName(static_cast<SlotUse>(U)), B.Slots[U]);
+  W.endObject();
+  W.endObject();
+  W.key("pcs");
+  W.beginArray();
+  for (size_t PC = 0; PC < P.codeSize(); ++PC) {
+    const PCCounters &C = P.at(PC);
+    W.beginObject();
+    W.kv("pc", static_cast<uint64_t>(PC));
+    W.kv("text", Listing.Lines[PC]);
+    W.kv("issues", C.Issues);
+    W.kv("dual_issues", C.DualIssues);
+    W.kv("replays", C.Replays);
+    W.key("stalls");
+    W.beginObject();
+    for (size_t U = 0; U < NumSlotUses; ++U) {
+      if (U == static_cast<size_t>(SlotUse::Issued))
+        continue;
+      if (C.StallSlots[U])
+        W.kv(slotUseName(static_cast<SlotUse>(U)), C.StallSlots[U]);
+    }
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("no_pc");
+  W.beginObject();
+  for (size_t U = 0; U < NumSlotUses; ++U) {
+    if (U == static_cast<size_t>(SlotUse::Issued))
+      continue;
+    if (P.noPC().StallSlots[U])
+      W.kv(slotUseName(static_cast<SlotUse>(U)),
+           P.noPC().StallSlots[U]);
+  }
+  W.endObject();
+  W.key("regions");
+  W.beginArray();
+  for (const HotRegion &R : findHotRegions(K, P)) {
+    RegionIssueBound Bound = regionIssueBound(M, K, R.Begin, R.End);
+    W.beginObject();
+    W.kv("begin", R.Begin);
+    W.kv("end", R.End);
+    W.kv("issues", R.Totals.Issues);
+    W.kv("dual_issues", R.Totals.DualIssues);
+    W.kv("replays", R.Totals.Replays);
+    W.kv("issued_slots", R.issuedSlots());
+    W.kv("total_slots", R.totalSlots());
+    W.key("stalls");
+    W.beginObject();
+    for (size_t U = 0; U < NumSlotUses; ++U) {
+      if (U == static_cast<size_t>(SlotUse::Issued))
+        continue;
+      if (R.Totals.StallSlots[U])
+        W.kv(slotUseName(static_cast<SlotUse>(U)),
+             R.Totals.StallSlots[U]);
+    }
+    W.endObject();
+    W.key("bound");
+    W.beginObject();
+    W.kv("binding", Bound.BindingResource);
+    W.key("warp_insts_per_cycle");
+    W.value(Bound.WarpInstsPerCycle, 3);
+    W.key("ffma_fraction");
+    W.value(Bound.FfmaFraction, 4);
+    W.key("ffma_density");
+    W.value(Bound.FfmaThreadInstsPerCycle, 2);
+    W.key("issue_slot_fraction");
+    W.value(Bound.IssueSlotFraction, 4);
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}

@@ -1,0 +1,102 @@
+//===- analysis/HotspotReport.h - annotated per-PC profiles -----*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a KernelProfile into something a human (or perfdiff) can act on:
+/// a perf-annotate-style listing joining the per-PC counters with the
+/// disassembly, loop (back-edge) region detection, per-region
+/// achieved-vs-bound comparison against model/UpperBound's region issue
+/// bound, and a versioned JSON record. This is the layer that converts
+/// the paper's whole-kernel bound argument (Figure 2, Table 2) into
+/// per-loop explanations: which instructions of the main loop lose the
+/// slots the bound says are available, and to which cause.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_ANALYSIS_HOTSPOTREPORT_H
+#define GPUPERF_ANALYSIS_HOTSPOTREPORT_H
+
+#include "arch/MachineDesc.h"
+#include "isa/Module.h"
+#include "sim/Profile.h"
+
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+/// One static loop region: the body of a backward branch, [Begin, End]
+/// inclusive, with the profile counters of its instructions summed.
+struct HotRegion {
+  int Begin = 0; ///< First PC of the region (the back edge's target).
+  int End = 0;   ///< Last PC (the backward BRA itself).
+  PCCounters Totals;
+
+  int numInsts() const { return End - Begin + 1; }
+  /// Scheduler slots spent issuing region instructions (dual-issue pairs
+  /// share one slot).
+  uint64_t issuedSlots() const { return Totals.issuedSlots(); }
+  /// All slots attributed to the region: issued plus lost.
+  uint64_t totalSlots() const {
+    return Totals.issuedSlots() + Totals.lostSlots();
+  }
+  /// Fraction of the region's slots lost to \p Use.
+  double slotShare(SlotUse Use) const {
+    uint64_t T = totalSlots();
+    return T ? static_cast<double>(
+                   Totals.StallSlots[static_cast<size_t>(Use)]) /
+                   static_cast<double>(T)
+             : 0.0;
+  }
+  /// Fraction of the region's slots that issued instructions.
+  double issueEfficiency() const {
+    uint64_t T = totalSlots();
+    return T ? static_cast<double>(issuedSlots()) / static_cast<double>(T)
+             : 0.0;
+  }
+};
+
+/// Detects loop regions: one per distinct backward branch in \p K
+/// (target PC <= branch PC), sorted by Begin, counters aggregated from
+/// \p P. Nested loops yield nested regions; each is reported
+/// independently.
+std::vector<HotRegion> findHotRegions(const Kernel &K,
+                                      const KernelProfile &P);
+
+/// Renders the perf-annotate-style report: a header with launch totals,
+/// one row per static instruction (issues, dual issues, replays, lost
+/// slots with their top cause, share of all lost slots) joined with the
+/// disassembly listing, then one summary block per loop region with
+/// per-cause shares and the achieved-vs-bound FFMA density and
+/// issue-slot efficiency from model/UpperBound's regionIssueBound.
+std::string renderAnnotatedReport(const MachineDesc &M, const Kernel &K,
+                                  const KernelProfile &P);
+
+/// Launch facts the JSON record carries beyond the profile itself.
+struct ProfileRecordInfo {
+  std::string Schedule; ///< "drip" / "list" / "" (not schedule-generated).
+  int GridX = 1, GridY = 1;
+  int BlockX = 1, BlockY = 1;
+  double TotalCycles = 0; ///< LaunchResult::TotalCycles.
+};
+
+/// Emits the versioned machine-readable profile record (schema_version,
+/// record type, machine and kernel identity, launch config, totals,
+/// per-PC counters, loop regions with bounds). perfdiff compares two of
+/// these; the schema_version and machine fields are what let it refuse
+/// cross-schema or cross-machine comparisons.
+std::string profileRecordJson(const MachineDesc &M, const Kernel &K,
+                              const KernelProfile &P,
+                              const ProfileRecordInfo &Info);
+
+/// The profile record schema emitted by profileRecordJson (bumped on
+/// incompatible shape changes; shared by the bench records of
+/// bench/BenchUtil.h).
+inline constexpr int MetricsSchemaVersion = 1;
+
+} // namespace gpuperf
+
+#endif // GPUPERF_ANALYSIS_HOTSPOTREPORT_H

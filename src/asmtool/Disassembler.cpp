@@ -12,7 +12,7 @@
 
 using namespace gpuperf;
 
-std::string gpuperf::disassembleKernel(const Kernel &K) {
+KernelListing gpuperf::listKernel(const Kernel &K) {
   // Collect branch targets and assign labels in code order.
   std::map<int, std::string> Labels;
   for (size_t Idx = 0; Idx < K.Code.size(); ++Idx) {
@@ -28,16 +28,12 @@ std::string gpuperf::disassembleKernel(const Kernel &K) {
   for (auto &Entry : Labels)
     Entry.second = formatString("L%d", NextLabel++);
 
-  std::string Out;
-  Out += formatString(".kernel %s\n", K.Name.c_str());
-  Out += formatString(".regs %d\n", K.RegsPerThread);
-  Out += formatString(".shared %d\n", K.SharedBytes);
-  if (K.hasNotations())
-    Out += ".notation default\n";
-
+  KernelListing L;
+  L.Lines.reserve(K.Code.size());
+  L.Labels.assign(K.Code.size() + 1, "");
+  for (auto &Entry : Labels)
+    L.Labels[Entry.first] = Entry.second;
   for (size_t Idx = 0; Idx < K.Code.size(); ++Idx) {
-    if (auto It = Labels.find(static_cast<int>(Idx)); It != Labels.end())
-      Out += It->second + ":\n";
     const Instruction &I = K.Code[Idx];
     std::string Text = I.toString();
     if (I.Op == Opcode::BRA) {
@@ -49,7 +45,6 @@ std::string gpuperf::disassembleKernel(const Kernel &K) {
         Text = Text.substr(0, Space + 1) + It->second;
       }
     }
-    Out += "  " + Text;
     if (K.hasNotations()) {
       const ControlField &F = K.Notations[Idx / NotationGroupSize]
                                   .Fields[Idx % NotationGroupSize];
@@ -61,15 +56,32 @@ std::string gpuperf::disassembleKernel(const Kernel &K) {
           Ann += std::string(Ann.empty() ? "" : ",") + "y";
         if (F.DualIssue)
           Ann += std::string(Ann.empty() ? "" : ",") + "d";
-        Out += " {" + Ann + "}";
+        Text += " {" + Ann + "}";
       }
     }
-    Out += '\n';
+    L.Lines.push_back(std::move(Text));
+  }
+  return L;
+}
+
+std::string gpuperf::disassembleKernel(const Kernel &K) {
+  KernelListing L = listKernel(K);
+
+  std::string Out;
+  Out += formatString(".kernel %s\n", K.Name.c_str());
+  Out += formatString(".regs %d\n", K.RegsPerThread);
+  Out += formatString(".shared %d\n", K.SharedBytes);
+  if (K.hasNotations())
+    Out += ".notation default\n";
+
+  for (size_t Idx = 0; Idx < K.Code.size(); ++Idx) {
+    if (!L.Labels[Idx].empty())
+      Out += L.Labels[Idx] + ":\n";
+    Out += "  " + L.Lines[Idx] + '\n';
   }
   // A label may point one past the last instruction; anchor it with a NOP.
-  if (auto It = Labels.find(static_cast<int>(K.Code.size()));
-      It != Labels.end())
-    Out += It->second + ":\n  NOP\n";
+  if (!L.Labels[K.Code.size()].empty())
+    Out += L.Labels[K.Code.size()] + ":\n  NOP\n";
   Out += ".end\n";
   return Out;
 }

@@ -18,8 +18,25 @@
 #include "isa/Module.h"
 
 #include <string>
+#include <vector>
 
 namespace gpuperf {
+
+/// A kernel's listing split per static instruction, for tools that join
+/// other per-PC data against the text (the profiler's annotated report).
+/// Indices mirror Kernel::Code; Labels has one extra slot for a label
+/// anchored one past the last instruction.
+struct KernelListing {
+  /// Instruction text per PC: mnemonic and operands with branch targets
+  /// shown as labels, control notations appended as {s:N,y,d}.
+  std::vector<std::string> Lines;
+  /// Label anchored at each PC ("" = none); size Code.size() + 1.
+  std::vector<std::string> Labels;
+};
+
+/// Produces the per-PC listing of \p K (the same text disassembleKernel
+/// renders, without the directive header).
+KernelListing listKernel(const Kernel &K);
 
 /// Disassembles one kernel (without the .arch header).
 std::string disassembleKernel(const Kernel &K);

@@ -6,6 +6,7 @@
 
 #include "model/UpperBound.h"
 
+#include "sim/Timing.h"
 #include "support/MathUtils.h"
 
 #include <algorithm>
@@ -148,4 +149,65 @@ UpperBoundReport UpperBoundModel::bestForWidth(MemWidth W) {
       Best = R;
   }
   return Best;
+}
+
+RegionIssueBound gpuperf::regionIssueBound(const MachineDesc &M,
+                                           const Kernel &K, int Begin,
+                                           int End) {
+  RegionIssueBound B;
+  Begin = std::max(Begin, 0);
+  End = std::min(End, static_cast<int>(K.Code.size()) - 1);
+  if (Begin > End || K.Code.empty())
+    return B;
+
+  // Per-iteration structural costs of the region's instructions, per warp,
+  // at conflict-free register banking (the best any reordering of exactly
+  // these instructions can do).
+  double N = static_cast<double>(End - Begin + 1);
+  double IssuePipe = 0, MathPipe = 0, Port = 0, Ldst = 0;
+  int Ffmas = 0;
+  for (int PC = Begin; PC <= End; ++PC) {
+    const Instruction &I = K.Code[PC];
+    IssuePipe += issuePipeCyclesConflictFree(M, I);
+    MathPipe += mathPipeCycles(M, I);
+    Port += dispatchPortCycles(M, I);
+    Ldst += ldstPipeCycles(M, I);
+    if (I.Op == Opcode::FFMA)
+      ++Ffmas;
+  }
+
+  // Scheduler slots: S slots per cycle, each carrying up to PairRate
+  // instructions (Kepler dual issue; 1 elsewhere).
+  double S = std::max(1, M.WarpSchedulersPerSM);
+  double PairRate =
+      M.WarpSchedulersPerSM > 0
+          ? std::max(1.0, static_cast<double>(M.DispatchUnitsPerSM) /
+                              M.WarpSchedulersPerSM)
+          : 1.0;
+  double SlotLimit = S * PairRate;
+
+  B.WarpInstsPerCycle = SlotLimit;
+  B.BindingResource = "dispatch_limit";
+  // Each candidate expresses "warp instructions per cycle, SM-wide"; the
+  // minimum binds. Dispatch ports are per scheduler, so their aggregate
+  // capacity is S ports-cycles per cycle.
+  struct Candidate {
+    double Rate;
+    const char *Name;
+  } Cands[] = {
+      {IssuePipe > 0 ? N / IssuePipe : SlotLimit, "issue_pipe"},
+      {MathPipe > 0 ? N / MathPipe : SlotLimit, "math_pipe"},
+      {Port > 0 ? S * N / Port : SlotLimit, "dispatch_limit"},
+      {Ldst > 0 ? N / Ldst : SlotLimit, "lds_throughput"},
+  };
+  for (const Candidate &C : Cands)
+    if (C.Rate < B.WarpInstsPerCycle) {
+      B.WarpInstsPerCycle = C.Rate;
+      B.BindingResource = C.Name;
+    }
+
+  B.FfmaFraction = Ffmas / N;
+  B.FfmaThreadInstsPerCycle = B.WarpInstsPerCycle * B.FfmaFraction * WarpSize;
+  B.IssueSlotFraction = B.WarpInstsPerCycle / SlotLimit;
+  return B;
 }

@@ -27,6 +27,7 @@
 #define GPUPERF_MODEL_UPPERBOUND_H
 
 #include "arch/Occupancy.h"
+#include "isa/Module.h"
 #include "ubench/PerfDatabase.h"
 
 namespace gpuperf {
@@ -66,6 +67,38 @@ struct UpperBoundReport {
   double PotentialGflops = 0; ///< Equation (9).
   double FractionOfPeak = 0;  ///< Potential / theoretical peak.
 };
+
+/// Issue bound of one static code region (typically a profiler-detected
+/// loop body): the best sustained rate any schedule of exactly these
+/// instructions can reach on \p M, from the machine's structural issue
+/// resources alone -- scheduler slots (with Kepler dual-issue pairing),
+/// the SM-wide issue pipe at conflict-free register banking, the
+/// pre-Kepler math pipe and dispatch ports, and the LD/ST pipe. The
+/// per-region analogue of Equation 8's whole-kernel story: the achieved
+/// profile is compared against this to say how much of a loop's gap is
+/// schedule/conflict inefficiency rather than missing issue bandwidth.
+struct RegionIssueBound {
+  /// Warp instructions per cycle the SM can sustain over the region.
+  double WarpInstsPerCycle = 0;
+  /// Which structural resource binds (a SlotUse-style name for reports:
+  /// "dispatch_limit", "issue_pipe", "math_pipe", "lds_throughput").
+  const char *BindingResource = "dispatch_limit";
+  /// Static FFMA share of the region's instructions.
+  double FfmaFraction = 0;
+  /// FFMA thread instructions per cycle at the bound (the paper's
+  /// Figure-2 y-axis, per SM).
+  double FfmaThreadInstsPerCycle = 0;
+  /// Fraction of the SM's scheduler issue slots the bound consumes
+  /// (1.0 = every slot busy issuing; < 1 means even a perfect schedule
+  /// leaves slots idle because another pipe saturates first).
+  double IssueSlotFraction = 0;
+};
+
+/// Computes the issue bound of \p K's instructions in [Begin, End]
+/// (inclusive PCs, clamped to the code). Pure arithmetic over the
+/// sim/Timing.h cost model; no simulation or PerfDatabase involved.
+RegionIssueBound regionIssueBound(const MachineDesc &M, const Kernel &K,
+                                  int Begin, int End);
 
 /// The analysis engine for one machine; throughputs come from a
 /// (lazily-measured) PerfDatabase.

@@ -22,6 +22,7 @@ struct SMOutcome {
   GlobalWriteOverlay Overlay;
   std::vector<TraceEvent> TraceEvents;
   uint64_t TraceDropped = 0;
+  KernelProfile Profile;
   int Waves = 0;
   bool Failed = false;
   std::string Error;
@@ -38,7 +39,7 @@ struct SMOutcome {
 void runSMWaves(const MachineDesc &M, const Kernel &K, Executor &Exec,
                 const LaunchDims &Dims, const std::vector<int> &Mine,
                 int ActiveBlocks, uint64_t Watchdog, size_t TraceRing,
-                SMOutcome &Out) {
+                bool ProfileOn, SMOutcome &Out) {
   TraceRecorder Rec(TraceRing ? TraceRing : 1);
   for (size_t First = 0; First < Mine.size();
        First += static_cast<size_t>(ActiveBlocks)) {
@@ -50,7 +51,8 @@ void runSMWaves(const MachineDesc &M, const Kernel &K, Executor &Exec,
                         static_cast<size_t>(Dims.warpsPerBlock()),
                     std::max(1, M.WarpSchedulersPerSM), Out.Stats.Cycles);
     auto Wave = simulateWave(M, K, Exec, Dims, WaveBlocks, Watchdog,
-                             &Out.Trap, TraceRing ? &Rec : nullptr);
+                             &Out.Trap, TraceRing ? &Rec : nullptr,
+                             ProfileOn ? &Out.Profile : nullptr);
     if (TraceRing)
       Rec.endWave();
     if (!Wave) {
@@ -79,6 +81,17 @@ void mergeTrace(SimTrace *Trace, int SMIndex, SMOutcome &Out) {
   }
   Trace->DroppedEvents += Out.TraceDropped;
   Out.TraceEvents.clear();
+}
+
+/// Accumulates one SM's per-PC profile into the launch-wide profile.
+/// Called in SM index order on both the serial and the parallel path --
+/// the profile, like the trace and the memory image, is Jobs-invariant.
+/// Follows mergeTrace's failure rule: a trapping SM's partial profile is
+/// merged before the launch reports the trap.
+void mergeProfile(KernelProfile *Profile, SMOutcome &Out) {
+  if (!Profile || Out.Profile.empty())
+    return;
+  Profile->add(Out.Profile);
 }
 
 } // namespace
@@ -148,6 +161,12 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
 
   const size_t TraceRing =
       Config.Trace ? std::max<size_t>(1, Config.Trace->RingCapacity) : 0;
+  const bool ProfileOn = Config.Profile != nullptr;
+  // A profile carried over from a different kernel cannot accumulate
+  // meaningfully; align its shape up front (same-kernel profiles keep
+  // accumulating across launches, mirroring simulateWave's contract).
+  if (ProfileOn && Config.Profile->codeSize() != K.Code.size())
+    Config.Profile->reset(K.Code.size());
 
   if (Config.Mode == SimMode::ProjectOneWave) {
     // Simulate the first wave of SM 0 and extrapolate. SM 0 gets blocks
@@ -158,8 +177,9 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
       BlockIds.push_back(B);
     SMOutcome Out;
     runSMWaves(M, K, Exec, Dims, BlockIds, Occ.ActiveBlocks, Watchdog,
-               TraceRing, Out);
+               TraceRing, ProfileOn, Out);
     mergeTrace(Config.Trace, 0, Out);
+    mergeProfile(Config.Profile, Out);
     if (Out.Failed) {
       if (TrapOut && Out.Trap.valid())
         *TrapOut = Out.Trap;
@@ -197,10 +217,12 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
     for (size_t Idx = 0; Idx < PerSMBlocks.size(); ++Idx) {
       SMOutcome Out;
       runSMWaves(M, K, Exec, Dims, PerSMBlocks[Idx], Occ.ActiveBlocks,
-                 Watchdog, TraceRing, Out);
-      // Merge the trace before checking for failure: the serial path
-      // keeps whatever the trapping SM recorded up to the fault.
+                 Watchdog, TraceRing, ProfileOn, Out);
+      // Merge the trace (and profile) before checking for failure: the
+      // serial path keeps whatever the trapping SM recorded up to the
+      // fault.
       mergeTrace(Config.Trace, static_cast<int>(Idx), Out);
+      mergeProfile(Config.Profile, Out);
       if (Out.Failed) {
         if (TrapOut && Out.Trap.valid())
           *TrapOut = Out.Trap;
@@ -221,17 +243,19 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
       Executor SMExec(M, GlobalMemoryView(Global, Out.Overlay),
                       Config.Params, Dims);
       runSMWaves(M, K, SMExec, Dims, PerSMBlocks[Idx], Occ.ActiveBlocks,
-                 Watchdog, TraceRing, Out);
+                 Watchdog, TraceRing, ProfileOn, Out);
     });
     for (size_t Idx = 0; Idx < Outcomes.size(); ++Idx) {
       SMOutcome &Out = Outcomes[Idx];
       // Apply before checking for failure: when the serial path stops at
       // SM k's trap, the writes of SMs 0..k-1 and SM k's partial wave
       // are already in global memory; later SMs never ran, so their
-      // overlays are discarded by returning here. The trace follows the
-      // same rule, so it too is bit-identical to the serial path.
+      // overlays are discarded by returning here. The trace and profile
+      // follow the same rule, so they too are bit-identical to the
+      // serial path.
       Out.Overlay.applyTo(Global);
       mergeTrace(Config.Trace, static_cast<int>(Idx), Out);
+      mergeProfile(Config.Profile, Out);
       if (Out.Failed) {
         if (TrapOut && Out.Trap.valid())
           *TrapOut = Out.Trap;

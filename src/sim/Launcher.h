@@ -64,6 +64,13 @@ struct LaunchConfig {
   /// bit-identical for every Jobs value. Null (the default) costs one
   /// untaken branch per issue: tracing is zero-overhead when off.
   SimTrace *Trace = nullptr;
+  /// When non-null, the launch accumulates per-static-instruction
+  /// counters into *Profile (issues, dual-issue pairs, replays, lost
+  /// slots by cause; see sim/Profile.h). Collected per SM and merged in
+  /// SM index order, so the profile is bit-identical for every Jobs
+  /// value, and satisfies Profile->breakdown() == Result.Stats.Breakdown
+  /// on success. Null (the default) is zero-overhead, like Trace.
+  KernelProfile *Profile = nullptr;
 };
 
 /// Result of a (possibly projected) launch.

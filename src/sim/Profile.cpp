@@ -1,0 +1,58 @@
+//===- sim/Profile.cpp - per-static-instruction counters ------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Profile.h"
+
+#include <cassert>
+
+namespace gpuperf {
+
+void KernelProfile::add(const KernelProfile &O) {
+  if (PCs.empty())
+    PCs.resize(O.PCs.size());
+  assert(PCs.size() == O.PCs.size() &&
+         "merging profiles of different kernels");
+  for (size_t I = 0; I < PCs.size(); ++I)
+    PCs[I].add(O.PCs[I]);
+  NoPC.add(O.NoPC);
+}
+
+uint64_t KernelProfile::totalIssues() const {
+  uint64_t T = NoPC.Issues;
+  for (const PCCounters &C : PCs)
+    T += C.Issues;
+  return T;
+}
+
+uint64_t KernelProfile::totalDualIssues() const {
+  uint64_t T = NoPC.DualIssues;
+  for (const PCCounters &C : PCs)
+    T += C.DualIssues;
+  return T;
+}
+
+uint64_t KernelProfile::totalReplays() const {
+  uint64_t T = NoPC.Replays;
+  for (const PCCounters &C : PCs)
+    T += C.Replays;
+  return T;
+}
+
+StallBreakdown KernelProfile::breakdown() const {
+  StallBreakdown B;
+  auto Fold = [&B](const PCCounters &C) {
+    B.Slots[static_cast<size_t>(SlotUse::Issued)] += C.issuedSlots();
+    for (size_t U = 0; U < NumSlotUses; ++U)
+      if (U != static_cast<size_t>(SlotUse::Issued))
+        B.Slots[U] += C.StallSlots[U];
+  };
+  for (const PCCounters &C : PCs)
+    Fold(C);
+  Fold(NoPC);
+  return B;
+}
+
+} // namespace gpuperf

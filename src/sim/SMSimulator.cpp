@@ -14,7 +14,9 @@
 #include <bit>
 #include <cmath>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 
 using namespace gpuperf;
 
@@ -55,8 +57,9 @@ class SMSim {
 public:
   SMSim(const MachineDesc &M, const Kernel &K, Executor &Exec,
         const LaunchDims &Dims, const std::vector<int> &BlockIds,
-        uint64_t WatchdogCycles, TraceRecorder *Trace)
-      : M(M), K(K), Exec(Exec), Dims(Dims), Trace(Trace),
+        uint64_t WatchdogCycles, TraceRecorder *Trace,
+        KernelProfile *Profile)
+      : M(M), K(K), Exec(Exec), Dims(Dims), Trace(Trace), Profile(Profile),
         Budget(WatchdogCycles == 0
                    ? MaxWaveCycles
                    : std::min(WatchdogCycles, MaxWaveCycles)) {
@@ -93,6 +96,7 @@ public:
     PortFree.assign(NumSchedulers, 0.0);
     RRNext.assign(NumSchedulers, 0);
     SchedBlocked.assign(NumSchedulers, WarpBlock::None);
+    SchedBlockedPC.assign(NumSchedulers, -1);
   }
 
   Expected<SimStats> run(TrapInfo *TrapOut) {
@@ -134,11 +138,13 @@ private:
       // Nothing can issue before NewNow; the whole span is idle. Cycle
       // `Now` itself was already attributed slot-by-slot inside
       // runScheduler; the fast-forwarded cycles inherit each scheduler's
-      // reason from the cycle that proved no progress was possible.
+      // reason (and attributed PC) from the cycle that proved no
+      // progress was possible.
       Stats.IdleCycles += NewNow - Now;
       if (uint64_t Skipped = NewNow - Now - 1)
         for (int S = 0; S < NumSchedulers; ++S)
-          accountStall(S, SchedBlocked[S], Now + 1, Skipped);
+          accountStall(S, SchedBlocked[S], SchedBlockedPC[S], Now + 1,
+                       Skipped);
       Now = NewNow;
     }
     Stats.Cycles = Now;
@@ -147,11 +153,15 @@ private:
   }
 
   /// Charges \p N lost issue slots of scheduler \p Sched, starting at
-  /// cycle \p Start, to the SlotUse cause implied by \p B. Issue-pipe
-  /// losses are split: the bank-conflict debt accumulated by previously
-  /// issued math instructions is paid out first (RegBankConflict), the
-  /// remainder is raw issue width (DispatchLimit).
-  void accountStall(int Sched, WarpBlock B, uint64_t Start, uint64_t N) {
+  /// cycle \p Start, to the SlotUse cause implied by \p B, attributed to
+  /// static instruction \p PC (-1 = no attributable instruction; the
+  /// profile's NoPC bucket). Issue-pipe losses are split: the
+  /// bank-conflict debt accumulated by previously issued math
+  /// instructions is paid out first (RegBankConflict), the remainder is
+  /// raw issue width (DispatchLimit); both halves belong to the same
+  /// blocked PC.
+  void accountStall(int Sched, WarpBlock B, int PC, uint64_t Start,
+                    uint64_t N) {
     SlotUse Use = SlotUse::NoEligibleWarp;
     switch (B) {
     case WarpBlock::IssuePipe: {
@@ -163,12 +173,17 @@ private:
         if (Trace)
           Trace->stall(Sched, Start, FromConflict,
                        SlotUse::RegBankConflict);
+        if (Profile)
+          Profile->countStall(PC, SlotUse::RegBankConflict, FromConflict);
       }
       if (N > FromConflict) {
         Stats.Breakdown[SlotUse::DispatchLimit] += N - FromConflict;
         if (Trace)
           Trace->stall(Sched, Start + FromConflict, N - FromConflict,
                        SlotUse::DispatchLimit);
+        if (Profile)
+          Profile->countStall(PC, SlotUse::DispatchLimit,
+                              N - FromConflict);
       }
       return;
     }
@@ -193,6 +208,8 @@ private:
     Stats.Breakdown[Use] += N;
     if (Trace)
       Trace->stall(Sched, Start, N, Use);
+    if (Profile)
+      Profile->countStall(PC, Use, N);
   }
 
   /// Precomputes, per static instruction, whether every register and
@@ -403,6 +420,8 @@ private:
         IssuePipeFree = std::max(IssuePipeFree, static_cast<double>(Now)) +
                         0.5 * WarpSize / M.MathIssueSlotsPerCycle;
         ++Stats.ReplayPenalties;
+        if (Profile)
+          Profile->countReplay(W.PC);
       }
       return false;
     }
@@ -512,6 +531,8 @@ private:
     if (Trace)
       Trace->issue(WarpIdx, B.BlockIdLinear, W.WarpInBlock, Now,
                    PCAtIssue, I.Op);
+    if (Profile)
+      Profile->countIssue(PCAtIssue);
   }
 
   void releaseBarrierIfComplete(BlockState &B) {
@@ -532,14 +553,21 @@ private:
       Mine.push_back(W);
     if (Mine.empty()) {
       SchedBlocked[Sched] = WarpBlock::None;
-      accountStall(Sched, WarpBlock::None, Now, 1);
+      SchedBlockedPC[Sched] = -1;
+      accountStall(Sched, WarpBlock::None, -1, Now, 1);
       return Status::success();
     }
 
     // The scheduler's one issue slot this cycle: either some warp issues,
     // or the slot is attributed to the highest-priority reason any of its
-    // warps could not (see WarpBlock's ordering).
+    // warps could not (see WarpBlock's ordering). For the profile the
+    // slot is charged to a PC too: among the warps blocked for the
+    // winning reason, the one that has waited longest since its last
+    // issue (the likely head of the dependence chain) names the
+    // instruction.
     WarpBlock Best = WarpBlock::None;
+    int BestPC = -1;
+    uint64_t BestWait = 0;
     int Start = RRNext[Sched] % static_cast<int>(Mine.size());
     for (int Offset = 0; Offset < static_cast<int>(Mine.size());
          ++Offset) {
@@ -548,7 +576,15 @@ private:
       int PCBefore = Warps[WarpIdx].PC;
       WarpBlock Why = WarpBlock::None;
       if (!tryIssue(WarpIdx, Sched, /*AllowReplayPenalty=*/true, &Why)) {
-        Best = Why > Best ? Why : Best;
+        const WarpContext &W = Warps[WarpIdx];
+        if (Why > Best || (Why == Best && Why != WarpBlock::None &&
+                           W.LastIssue < BestWait)) {
+          Best = Why;
+          BestWait = W.LastIssue;
+          BestPC = W.PC >= 0 && static_cast<size_t>(W.PC) < K.Code.size()
+                       ? W.PC
+                       : -1;
+        }
         continue;
       }
       if (Trap)
@@ -565,8 +601,15 @@ private:
         if (F.DualIssue && F.StallCycles == 0 && !W.Done &&
             !W.AtBarrier) {
           W.StallUntil = Now; // The pair issues in the same cycle.
-          if (tryIssue(WarpIdx, Sched, /*AllowReplayPenalty=*/false))
+          int PCSecond = W.PC;
+          if (tryIssue(WarpIdx, Sched, /*AllowReplayPenalty=*/false)) {
             ++Stats.DualIssues;
+            // tryIssue returns true without reaching issue() only when
+            // it trapped; on a clean true, PCSecond is the instruction
+            // that just issued as the pair's second half.
+            if (Profile && !Trap)
+              Profile->countDualIssue(PCSecond);
+          }
           if (W.StallUntil <= Now)
             W.StallUntil = Now + 1;
         }
@@ -574,7 +617,8 @@ private:
       return Status::success();
     }
     SchedBlocked[Sched] = Best;
-    accountStall(Sched, Best, Now, 1);
+    SchedBlockedPC[Sched] = BestPC;
+    accountStall(Sched, Best, BestPC, Now, 1);
     return Status::success();
   }
 
@@ -606,6 +650,7 @@ private:
   Executor &Exec;
   const LaunchDims &Dims;
   TraceRecorder *Trace;
+  KernelProfile *Profile;
   const uint64_t Budget;
 
   std::vector<BlockState> Blocks;
@@ -624,6 +669,10 @@ private:
   /// Each scheduler's block reason in the most recent no-issue cycle
   /// (reused to attribute fast-forwarded idle spans).
   std::vector<WarpBlock> SchedBlocked;
+  /// The attributed PC paired with SchedBlocked (-1 = none), so
+  /// fast-forwarded spans land on the same instruction as the cycle
+  /// that proved no progress was possible.
+  std::vector<int> SchedBlockedPC;
   /// Outstanding bank-conflict surcharge cycles not yet paid out as lost
   /// slots (see accountStall).
   double ConflictDebt = 0.0;
@@ -639,13 +688,18 @@ private:
 namespace {
 std::atomic<uint64_t> SimulatedCycleTally{0};
 std::array<std::atomic<uint64_t>, NumSlotUses> SlotUseTally{};
+std::mutex MachineNamesMutex;
+std::set<std::string> MachineNames;
 } // namespace
 
 Expected<SimStats> gpuperf::simulateWave(
     const MachineDesc &M, const Kernel &K, Executor &Exec,
     const LaunchDims &Dims, const std::vector<int> &BlockIds,
-    uint64_t WatchdogCycles, TrapInfo *TrapOut, TraceRecorder *Trace) {
-  SMSim Sim(M, K, Exec, Dims, BlockIds, WatchdogCycles, Trace);
+    uint64_t WatchdogCycles, TrapInfo *TrapOut, TraceRecorder *Trace,
+    KernelProfile *Profile) {
+  if (Profile && Profile->codeSize() != K.Code.size())
+    Profile->reset(K.Code.size());
+  SMSim Sim(M, K, Exec, Dims, BlockIds, WatchdogCycles, Trace, Profile);
   Expected<SimStats> Result = Sim.run(TrapOut);
   if (Result.hasValue()) {
     SimulatedCycleTally.fetch_add(Result->Cycles,
@@ -653,8 +707,18 @@ Expected<SimStats> gpuperf::simulateWave(
     for (size_t U = 0; U < NumSlotUses; ++U)
       SlotUseTally[U].fetch_add(Result->Breakdown.Slots[U],
                                 std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(MachineNamesMutex);
+      MachineNames.insert(M.Name);
+    }
   }
   return Result;
+}
+
+std::vector<std::string> gpuperf::simulatedMachineNames() {
+  std::lock_guard<std::mutex> Lock(MachineNamesMutex);
+  return std::vector<std::string>(MachineNames.begin(),
+                                  MachineNames.end());
 }
 
 uint64_t gpuperf::totalSimulatedCycles() {

@@ -22,11 +22,13 @@
 #include "arch/MachineDesc.h"
 #include "isa/Module.h"
 #include "sim/Executor.h"
+#include "sim/Profile.h"
 #include "sim/Stats.h"
 #include "sim/Trace.h"
 #include "sim/Trap.h"
 #include "support/Error.h"
 
+#include <string>
 #include <vector>
 
 namespace gpuperf {
@@ -51,12 +53,19 @@ inline constexpr uint64_t MaxWaveCycles = 1ull << 33;
 /// of the machine's warp schedulers owns one issue slot, accounted to
 /// exactly one SlotUse cause, so
 ///   Stats.Breakdown.total() == Stats.Cycles * max(1, WarpSchedulersPerSM)
+///
+/// When \p Profile is non-null the same events are additionally
+/// attributed to static instructions (accumulating across waves: the
+/// profile is reset only if its shape does not match \p K), preserving
+/// the per-cause identity Profile->breakdown() == Stats.Breakdown for
+/// successful waves -- see sim/Profile.h for the attribution rules.
 Expected<SimStats> simulateWave(const MachineDesc &M, const Kernel &K,
                                 Executor &Exec, const LaunchDims &Dims,
                                 const std::vector<int> &BlockIds,
                                 uint64_t WatchdogCycles = 0,
                                 TrapInfo *TrapOut = nullptr,
-                                TraceRecorder *Trace = nullptr);
+                                TraceRecorder *Trace = nullptr,
+                                KernelProfile *Profile = nullptr);
 
 /// Process-wide count of SM cycles simulated by successful waves since
 /// process start (atomic; waves may run concurrently). The bench
@@ -71,6 +80,14 @@ uint64_t totalSimulatedCycles();
 /// stats: total() == totalSimulatedCycles() * schedulers (for a process
 /// that simulates a single machine model).
 StallBreakdown totalIssueSlotBreakdown();
+
+/// Sorted, deduplicated names of every machine model successfully
+/// simulated since process start (mutex-guarded registry, sampled the
+/// same way as the tallies above). Metrics records embed it so perfdiff
+/// can refuse comparisons across different simulated machines -- a
+/// GTX580 suite and a GTX680 suite measure different things even when
+/// the bench names match.
+std::vector<std::string> simulatedMachineNames();
 
 } // namespace gpuperf
 

@@ -123,6 +123,15 @@ inline double issuePipeCycles(const MachineDesc &M, const Instruction &I) {
   return Slots * WarpSize / M.MathIssueSlotsPerCycle;
 }
 
+/// Issue-pipe cycles \p I would occupy if its sources were spread
+/// conflict-free across the register banks: the cost the list
+/// scheduler's bank rotation aims for, and the per-instruction basis of
+/// the region-level issue bound (model/UpperBound's regionIssueBound).
+inline double issuePipeCyclesConflictFree(const MachineDesc &M,
+                                          const Instruction &I) {
+  return issuePipeCycles(M, I) - bankConflictExtraCycles(M, I);
+}
+
 /// Dispatch-port occupancy in cycles (per scheduler). Fermi's 16-wide
 /// execution units hold the port 2 cycles per warp instruction; GT200's
 /// single scheduler issues one warp instruction every other shader cycle

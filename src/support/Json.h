@@ -17,9 +17,13 @@
 #ifndef GPUPERF_SUPPORT_JSON_H
 #define GPUPERF_SUPPORT_JSON_H
 
+#include "support/Error.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace gpuperf {
 
@@ -76,6 +80,42 @@ private:
 /// non-null) receives a message naming the byte offset and the check that
 /// fired.
 bool jsonValidate(std::string_view Text, std::string *ErrorOut = nullptr);
+
+/// A parsed JSON value (see jsonParse). Small tree representation:
+/// object members keep source order (and may repeat keys; find returns
+/// the first), numbers are doubles -- integers up to 2^53 round-trip
+/// exactly, which covers every counter the metrics records emit.
+struct JsonValue {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Number = 0;
+  std::string Str;
+  std::vector<JsonValue> Items; ///< Array elements.
+  std::vector<std::pair<std::string, JsonValue>> Members; ///< Object.
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// First member named \p Key (null when absent or not an object).
+  const JsonValue *find(std::string_view Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[Name, V] : Members)
+      if (Name == Key)
+        return &V;
+    return nullptr;
+  }
+};
+
+/// Parses one complete JSON value under the same strict grammar as
+/// jsonValidate, decoding string escapes (\uXXXX including surrogate
+/// pairs becomes UTF-8). Fails with a message naming the byte offset.
+Expected<JsonValue> jsonParse(std::string_view Text);
 
 } // namespace gpuperf
 

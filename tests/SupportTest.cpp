@@ -342,3 +342,118 @@ TEST(Json, ValidatorRejectsRunawayNesting) {
   std::string Shallow = "[[[[[[[[[[1]]]]]]]]]]";
   EXPECT_TRUE(jsonValidate(Shallow));
 }
+
+TEST(Json, WriterEscapesEveryControlCharacter) {
+  // All 32 control bytes must leave the writer escaped, and the result
+  // must survive the strict validator: a raw 0x00..0x1f in a string is
+  // exactly the corruption the metrics pipeline must never emit.
+  for (int C = 0; C < 0x20; ++C) {
+    JsonWriter W;
+    std::string S = "a";
+    S.push_back(static_cast<char>(C));
+    S += "b";
+    W.beginObject();
+    W.kv("k", S);
+    W.endObject();
+    std::string Err;
+    EXPECT_TRUE(jsonValidate(W.str(), &Err))
+        << "control 0x" << std::hex << C << ": " << Err;
+    EXPECT_EQ(W.str().find(static_cast<char>(C)), std::string::npos)
+        << "raw control byte 0x" << std::hex << C << " leaked";
+  }
+}
+
+TEST(Json, WriterEscapesQuoteAndBackslash) {
+  JsonWriter W;
+  W.beginObject();
+  W.kv("path", "C:\\dir\\\"name\"");
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"path\":\"C:\\\\dir\\\\\\\"name\\\"\"}");
+  EXPECT_TRUE(jsonValidate(W.str()));
+}
+
+TEST(Json, WriterPassesNonAsciiThrough) {
+  // UTF-8 above 0x7f needs no escaping; the bytes must arrive intact.
+  JsonWriter W;
+  W.beginObject();
+  W.kv("name", "caf\xc3\xa9 \xe6\xbc\xa2\xe5\xad\x97");
+  W.endObject();
+  std::string Err;
+  EXPECT_TRUE(jsonValidate(W.str(), &Err)) << Err;
+  EXPECT_NE(W.str().find("caf\xc3\xa9"), std::string::npos);
+  EXPECT_NE(W.str().find("\xe6\xbc\xa2\xe5\xad\x97"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Json: the parsing side (jsonParse) round-trips what the writer emits
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParseDecodesWriterEscapes) {
+  // Writer -> parser round-trip of a hostile string: every byte must
+  // come back exactly, including embedded controls and non-ASCII.
+  std::string Hostile = "quote\" back\\slash\nnul";
+  Hostile.push_back('\0');
+  Hostile += "\x01\x1f caf\xc3\xa9";
+  JsonWriter W;
+  W.beginObject();
+  W.kv("s", Hostile);
+  W.endObject();
+  auto V = jsonParse(W.str());
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  const JsonValue *S = V->find("s");
+  ASSERT_NE(S, nullptr);
+  ASSERT_TRUE(S->isString());
+  EXPECT_EQ(S->Str, Hostile);
+}
+
+TEST(Json, ParseBuildsStructuredTree) {
+  auto V = jsonParse(
+      "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": true, \"d\": null}, "
+      "\"e\": \"x\"}");
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  ASSERT_TRUE(V->isObject());
+  const JsonValue *A = V->find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_TRUE(A->isArray());
+  ASSERT_EQ(A->Items.size(), 3u);
+  EXPECT_EQ(A->Items[0].Number, 1.0);
+  EXPECT_EQ(A->Items[1].Number, 2.5);
+  EXPECT_EQ(A->Items[2].Number, -300.0);
+  const JsonValue *B = V->find("b");
+  ASSERT_NE(B, nullptr);
+  ASSERT_NE(B->find("c"), nullptr);
+  EXPECT_TRUE(B->find("c")->Bool);
+  ASSERT_NE(B->find("d"), nullptr);
+  EXPECT_TRUE(B->find("d")->isNull());
+  EXPECT_EQ(V->find("missing"), nullptr);
+}
+
+TEST(Json, ParseDecodesUnicodeEscapes) {
+  // BMP escape, and a surrogate pair for U+1F600 -> 4-byte UTF-8.
+  auto V = jsonParse("\"\\u00e9\\u6f22\\ud83d\\ude00\"");
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  EXPECT_EQ(V->Str, "\xc3\xa9\xe6\xbc\xa2\xf0\x9f\x98\x80");
+  // A lone high surrogate is not a valid escape.
+  EXPECT_FALSE(jsonParse("\"\\ud83d\"").hasValue());
+  EXPECT_FALSE(jsonParse("\"\\ud83dx\"").hasValue());
+}
+
+TEST(Json, ParseRejectsWhatValidatorRejects) {
+  for (const char *Bad :
+       {"", "{", "[1,]", "{\"a\":}", "01", "+1", "nul",
+        "\"unterminated", "\"bad\\q\"", "{} trailing"}) {
+    auto V = jsonParse(Bad);
+    EXPECT_FALSE(V.hasValue()) << Bad;
+    EXPECT_FALSE(V.message().empty()) << Bad;
+  }
+}
+
+TEST(Json, ParseRoundTripsIntegerCounters) {
+  // 2^53 is the largest counter the double representation holds
+  // exactly -- the bench records stay far below it.
+  auto V = jsonParse("{\"n\": 9007199254740992}");
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  EXPECT_EQ(static_cast<uint64_t>(V->find("n")->Number),
+            9007199254740992ull);
+}

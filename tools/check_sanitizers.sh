@@ -9,12 +9,18 @@
 # launch path (LaunchConfig::Jobs) additionally needs TSan whenever the
 # thread pool, overlay merge, or PerfDatabase locking changes.
 #
-# Usage: tools/check_sanitizers.sh [build-dir] [ctest args...]
+# Usage: tools/check_sanitizers.sh [--asan-only] [build-dir] [ctest args...]
 #   build-dir defaults to <repo>/build-sanitize; the TSan build goes to
-#   <build-dir>-tsan.
+#   <build-dir>-tsan. --asan-only skips the TSan stage (it needs a
+#   second full build tree -- CI runs it on a separate schedule).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+ASAN_ONLY=0
+if [ "${1:-}" = "--asan-only" ]; then
+  ASAN_ONLY=1
+  shift
+fi
 BUILD="${1:-$ROOT/build-sanitize}"
 shift $(( $# > 0 ? 1 : 0 ))
 
@@ -28,11 +34,16 @@ ASAN_OPTIONS=halt_on_error=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ctest --test-dir "$BUILD" --output-on-failure "$@"
 
+if [ "$ASAN_ONLY" = 1 ]; then
+  exit 0
+fi
+
 # ThreadSanitizer pass: TSan is mutually exclusive with ASan, so it
 # needs its own build tree. Only the suites that spawn threads are run
 # -- the serial suites cannot race and TSan slows them ~10x. The
 # scheduler suite is threaded through its Jobs=2 padded-verify case, so
-# it rides along.
+# it rides along; the profile suite exercises the per-SM profile merge
+# under the parallel launcher.
 TSAN_BUILD="$BUILD-tsan"
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -41,4 +52,4 @@ cmake --build "$TSAN_BUILD" -j"$(nproc)"
 
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R '(support|parallel_sim|perf_cache|stats|scheduler)_test|trace_smoke' "$@"
+    -R '(support|parallel_sim|perf_cache|stats|scheduler|profile)_test|trace_smoke' "$@"

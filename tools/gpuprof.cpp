@@ -1,0 +1,222 @@
+//===- tools/gpuprof.cpp - per-instruction profiler -------------------------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+// Runs one kernel on the simulated GPU with per-static-instruction
+// profiling always on, and prints the annotated disassembly report:
+// issues, dual-issue pairs, replay penalties, and lost issue slots by
+// cause for every PC, plus per-loop-region achieved-vs-bound FFMA
+// density. The same data can be written as a versioned JSON record for
+// perfdiff and offline analysis.
+//
+//   gpuprof module.gpub [kernel] [--machine GTX580|GTX680]
+//           [--grid X[,Y]] [--block N] [--param word]... [--mem bytes]
+//           [--watchdog cycles] [--jobs N] [--schedule drip|list]
+//           [--json FILE]
+//
+// Exit codes: 0 success, 1 load/launch error, 2 usage, 3 runtime trap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/HotspotReport.h"
+#include "kernelgen/Scheduler.h"
+#include "sim/Launcher.h"
+#include "support/Args.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace gpuperf;
+
+static int usage() {
+  std::fprintf(
+      stderr,
+      "usage: gpuprof module.gpub [kernel] [--machine GTX580|GTX680]\n"
+      "               [--grid X[,Y]] [--block N] [--param word]...\n"
+      "               [--mem bytes] [--watchdog cycles] [--jobs N]\n"
+      "               [--schedule drip|list] [--json FILE]\n"
+      "\n"
+      "  --schedule list     re-schedule the kernel (bank rotation +\n"
+      "                      list scheduling) before profiling; 'drip'\n"
+      "                      (default) profiles the module as loaded\n"
+      "  --jobs N            threads simulating SMs concurrently; the\n"
+      "                      profile is bit-identical for every N\n"
+      "  --json FILE         also write the versioned profile record\n"
+      "                      (schema_version %d) for perfdiff\n"
+      "\n"
+      "exit codes: 0 ok, 1 load/launch error, 2 usage, 3 runtime trap\n",
+      MetricsSchemaVersion);
+  return 2;
+}
+
+/// Parses the integer value of flag \p Flag (clamped to [Min, Max]); on
+/// any parse error prints a diagnostic naming the flag and exits 2.
+static long long flagInt(const char *Flag, const char *Text, long long Min,
+                         long long Max) {
+  auto V = parseInteger(Text, Min, Max);
+  if (!V) {
+    std::fprintf(stderr, "gpuprof: %s: %s\n", Flag, V.message().c_str());
+    std::exit(2);
+  }
+  return *V;
+}
+
+/// Same for unsigned flags (rejects negative values outright).
+static unsigned long long flagUnsigned(const char *Flag, const char *Text,
+                                       unsigned long long Max) {
+  auto V = parseUnsigned(Text, Max);
+  if (!V) {
+    std::fprintf(stderr, "gpuprof: %s: %s\n", Flag, V.message().c_str());
+    std::exit(2);
+  }
+  return *V;
+}
+
+int main(int Argc, char **Argv) {
+  const char *Input = nullptr;
+  std::string KernelName;
+  const MachineDesc *M = nullptr;
+  LaunchConfig Config;
+  Config.Dims.BlockX = 256;
+  Config.Dims.GridX = 1;
+  Config.Jobs = 0; // The CLI defaults to one job per hardware thread.
+  size_t MemBytes = 0;
+  bool Reschedule = false;
+  std::string JsonPath;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--machine") == 0 && I + 1 < Argc) {
+      M = findMachine(Argv[++I]);
+      if (!M) {
+        std::fprintf(stderr, "gpuprof: unknown machine\n");
+        return 2;
+      }
+    } else if (std::strcmp(Argv[I], "--grid") == 0 && I + 1 < Argc) {
+      std::string Spec = Argv[++I];
+      size_t Comma = Spec.find(',');
+      if (Comma != std::string::npos) {
+        Config.Dims.GridY = static_cast<int>(flagInt(
+            "--grid", Spec.substr(Comma + 1).c_str(), 1, 1 << 30));
+        Spec.resize(Comma);
+      }
+      Config.Dims.GridX =
+          static_cast<int>(flagInt("--grid", Spec.c_str(), 1, 1 << 30));
+    } else if (std::strcmp(Argv[I], "--block") == 0 && I + 1 < Argc) {
+      Config.Dims.BlockX =
+          static_cast<int>(flagInt("--block", Argv[++I], 1, 1 << 20));
+    } else if (std::strcmp(Argv[I], "--param") == 0 && I + 1 < Argc) {
+      Config.Params.push_back(static_cast<uint32_t>(
+          flagUnsigned("--param", Argv[++I], 0xffffffffull)));
+    } else if (std::strcmp(Argv[I], "--mem") == 0 && I + 1 < Argc) {
+      MemBytes = static_cast<size_t>(
+          flagUnsigned("--mem", Argv[++I], ~0ull >> 1));
+    } else if (std::strcmp(Argv[I], "--watchdog") == 0 && I + 1 < Argc) {
+      Config.WatchdogCycles = flagUnsigned("--watchdog", Argv[++I], ~0ull);
+    } else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
+      Config.Jobs =
+          static_cast<int>(flagInt("--jobs", Argv[++I], 0, 65536));
+    } else if (std::strcmp(Argv[I], "--schedule") == 0 && I + 1 < Argc) {
+      auto Choice = parseChoice(Argv[++I], {"drip", "list"});
+      if (!Choice) {
+        std::fprintf(stderr, "gpuprof: --schedule: %s\n",
+                     Choice.message().c_str());
+        return 2;
+      }
+      Reschedule = *Choice == 1;
+    } else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else if (std::strncmp(Argv[I], "--json=", 7) == 0) {
+      JsonPath = Argv[I] + 7;
+    } else if (Argv[I][0] == '-') {
+      return usage();
+    } else if (!Input) {
+      Input = Argv[I];
+    } else if (KernelName.empty()) {
+      KernelName = Argv[I];
+    } else {
+      return usage();
+    }
+  }
+  if (!Input)
+    return usage();
+
+  auto Mod = Module::readFromFile(Input);
+  if (!Mod) {
+    std::fprintf(stderr, "gpuprof: %s\n", Mod.message().c_str());
+    return 1;
+  }
+  if (!M)
+    M = Mod->Arch == GpuGeneration::Kepler ? &gtx680() : &gtx580();
+  const Kernel *K = KernelName.empty()
+                        ? (Mod->Kernels.empty() ? nullptr
+                                                : &Mod->Kernels[0])
+                        : Mod->findKernel(KernelName);
+  if (!K) {
+    std::fprintf(stderr, "gpuprof: kernel not found\n");
+    return 1;
+  }
+  Kernel Scheduled;
+  if (Reschedule) {
+    Scheduled = *K;
+    rotateRegisterBanks(*M, Scheduled);
+    scheduleKernel(*M, Scheduled);
+    K = &Scheduled;
+  }
+
+  GlobalMemory GM;
+  if (MemBytes) {
+    auto Base = GM.tryAllocate(MemBytes);
+    if (!Base) {
+      std::fprintf(stderr, "gpuprof: --mem %zu: %s\n", MemBytes,
+                   Base.message().c_str());
+      return 1;
+    }
+    Config.Params.insert(Config.Params.begin(), *Base);
+  }
+  KernelProfile Profile;
+  Config.Profile = &Profile;
+  TrapInfo Trap;
+  auto R = launchKernel(*M, *K, Config, GM, &Trap);
+  if (!R) {
+    if (Trap.valid()) {
+      std::fprintf(stderr, "gpuprof: %s\n", Trap.toString().c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "gpuprof: %s\n", R.message().c_str());
+    return 1;
+  }
+
+  std::printf("%s", renderAnnotatedReport(*M, *K, Profile).c_str());
+  std::printf("\ncycles %.0f (%.3f us)\n", R->TotalCycles,
+              R->seconds(*M) * 1e6);
+
+  if (!JsonPath.empty()) {
+    ProfileRecordInfo Info;
+    Info.Schedule = Reschedule ? "list" : "drip";
+    Info.GridX = Config.Dims.GridX;
+    Info.GridY = Config.Dims.GridY;
+    Info.BlockX = Config.Dims.BlockX;
+    Info.BlockY = Config.Dims.BlockY;
+    Info.TotalCycles = R->TotalCycles;
+    std::string Json = profileRecordJson(*M, *K, Profile, Info);
+    FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "gpuprof: --json: cannot write '%s'\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+    bool CloseOk = std::fclose(F) == 0;
+    if (Written != Json.size() || !CloseOk) {
+      std::fprintf(stderr, "gpuprof: --json: short write to '%s'\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    std::printf("profile record %zu bytes -> %s\n", Json.size(),
+                JsonPath.c_str());
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 //   gpurun module.gpub [kernel] [--machine GTX580|GTX680]
 //          [--grid X[,Y]] [--block N] [--param word]... [--mem bytes]
 //          [--watchdog cycles] [--jobs N] [--metrics] [--trace FILE]
+//          [--profile FILE]
 //
 // Parameters are 32-bit words loaded into the constant bank (LDC);
 // --mem reserves a global allocation whose base address is appended as
@@ -19,6 +20,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/HotspotReport.h"
 #include "kernelgen/Scheduler.h"
 #include "sim/Launcher.h"
 #include "support/Args.h"
@@ -37,7 +39,8 @@ static int usage() {
       "usage: gpurun module.gpub [kernel] [--machine GTX580|GTX680]\n"
       "              [--grid X[,Y]] [--block N] [--param word]...\n"
       "              [--mem bytes] [--watchdog cycles] [--jobs N]\n"
-      "              [--metrics] [--trace FILE] [--schedule drip|list]\n"
+      "              [--metrics] [--trace FILE] [--profile FILE]\n"
+      "              [--schedule drip|list]\n"
       "\n"
       "  --schedule list     re-schedule the kernel before launching:\n"
       "                      bank-rotate math operands, list-schedule\n"
@@ -60,6 +63,10 @@ static int usage() {
       "  --trace FILE        write a Chrome trace_event JSON timeline of\n"
       "                      per-warp issues and per-scheduler stalls\n"
       "                      (open in chrome://tracing or Perfetto)\n"
+      "  --profile FILE      profile every static instruction (issues,\n"
+      "                      dual issues, replays, lost slots by cause),\n"
+      "                      print the annotated disassembly report, and\n"
+      "                      write the versioned JSON record to FILE\n"
       "\n"
       "exit codes: 0 ok, 1 load/launch error, 2 usage, 3 runtime trap\n");
   return 2;
@@ -101,6 +108,8 @@ int main(int Argc, char **Argv) {
   bool Reschedule = false;
   std::string TracePath;
   SimTrace Trace;
+  std::string ProfilePath;
+  KernelProfile Profile;
 
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--machine") == 0 && I + 1 < Argc) {
@@ -147,6 +156,10 @@ int main(int Argc, char **Argv) {
       TracePath = Argv[++I];
     } else if (std::strncmp(Argv[I], "--trace=", 8) == 0) {
       TracePath = Argv[I] + 8;
+    } else if (std::strcmp(Argv[I], "--profile") == 0 && I + 1 < Argc) {
+      ProfilePath = Argv[++I];
+    } else if (std::strncmp(Argv[I], "--profile=", 10) == 0) {
+      ProfilePath = Argv[I] + 10;
     } else if (Argv[I][0] == '-') {
       return usage();
     } else if (!Input) {
@@ -199,6 +212,8 @@ int main(int Argc, char **Argv) {
   }
   if (!TracePath.empty())
     Config.Trace = &Trace;
+  if (!ProfilePath.empty())
+    Config.Profile = &Profile;
   TrapInfo Trap;
   auto R = launchKernel(*M, *K, Config, GM, &Trap);
   if (!R) {
@@ -279,6 +294,34 @@ int main(int Argc, char **Argv) {
                                        Trace.DroppedEvents))
                           .c_str()
                     : "");
+  }
+
+  if (!ProfilePath.empty()) {
+    std::printf("\n%s",
+                renderAnnotatedReport(*M, *K, Profile).c_str());
+    ProfileRecordInfo Info;
+    Info.Schedule = Reschedule ? "list" : "drip";
+    Info.GridX = Config.Dims.GridX;
+    Info.GridY = Config.Dims.GridY;
+    Info.BlockX = Config.Dims.BlockX;
+    Info.BlockY = Config.Dims.BlockY;
+    Info.TotalCycles = R->TotalCycles;
+    std::string Json = profileRecordJson(*M, *K, Profile, Info);
+    FILE *F = std::fopen(ProfilePath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "gpurun: --profile: cannot write '%s'\n",
+                   ProfilePath.c_str());
+      return 1;
+    }
+    size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+    bool CloseOk = std::fclose(F) == 0;
+    if (Written != Json.size() || !CloseOk) {
+      std::fprintf(stderr, "gpurun: --profile: short write to '%s'\n",
+                   ProfilePath.c_str());
+      return 1;
+    }
+    std::printf("profile            %zu bytes -> %s\n", Json.size(),
+                ProfilePath.c_str());
   }
   return 0;
 }

@@ -6,16 +6,39 @@
 # directory, so the second run of the suite (or a later bench reusing an
 # earlier bench's microbenchmarks) skips re-simulation.
 #
-# Usage: tools/run_benches.sh [build-dir] [out-dir]
+# Usage: tools/run_benches.sh [--check] [build-dir] [out-dir]
 #   build-dir defaults to <repo>/build, out-dir to <build-dir>/bench_out.
+#   --check  start from a fresh perf cache (the committed baselines were
+#            collected that way, and a warm cache changes sim_cycles),
+#            then gate every *_sim.json record against bench/baselines/
+#            with tools/perfdiff -- non-zero exit on any regression.
 # Environment:
 #   JOBS   worker threads per bench (default 0 = hardware concurrency)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build}"
-OUT="${2:-$BUILD/bench_out}"
+CHECK=0
+ARGS=()
+for A in "$@"; do
+  case "$A" in
+    --check) CHECK=1 ;;
+    -*)
+      echo "error: unknown option '$A'" >&2
+      echo "usage: tools/run_benches.sh [--check] [build-dir] [out-dir]" >&2
+      exit 2
+      ;;
+    *) ARGS+=("$A") ;;
+  esac
+done
+BUILD="${ARGS[0]:-$ROOT/build}"
+OUT="${ARGS[1]:-$BUILD/bench_out}"
 JOBS="${JOBS:-0}"
+# Validate up front: a typo'd JOBS would otherwise fail 15 benches in
+# (strict flag parsing rejects it per bench, but late and noisily).
+if ! [[ "$JOBS" =~ ^[0-9]+$ ]]; then
+  echo "error: JOBS must be a non-negative integer, got '$JOBS'" >&2
+  exit 2
+fi
 
 BENCHES=(
   table1_architecture
@@ -37,6 +60,9 @@ BENCHES=(
 
 mkdir -p "$OUT"
 CACHE="$OUT/perf_cache.gpdb"
+if [ "$CHECK" = 1 ]; then
+  rm -f "$CACHE"
+fi
 
 for BENCH in "${BENCHES[@]}"; do
   BIN="$BUILD/bench/$BENCH"
@@ -75,3 +101,10 @@ done
 echo >&2
 echo "metrics ($OUT/*_sim.json):" >&2
 cat "$OUT"/*_sim.json
+
+if [ "$CHECK" = 1 ]; then
+  echo >&2
+  echo "== perfdiff against $ROOT/bench/baselines" >&2
+  "$BUILD/tools/perfdiff" --baselines "$ROOT/bench/baselines" \
+    --current "$OUT"
+fi
