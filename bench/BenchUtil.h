@@ -25,11 +25,14 @@
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "ubench/PerfDatabase.h"
+#include "ubench/SweepRunner.h"
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,6 +67,19 @@ inline void benchPrint(const std::string &Text) {
 ///                main-loop ordering for the generated kernels the bench
 ///                measures: the fixed drip interleave (default) or the
 ///                kernelgen list scheduler
+///   --retries N  re-run a sweep point up to N extra times after a
+///                transient failure or timeout (default 0; deterministic
+///                failures are quarantined immediately, never retried)
+///   --point-timeout CYCLES
+///                per-sweep-point simulated-cycle deadline; a point that
+///                exceeds it is retried with the deadline doubled
+///                (0 = no deadline, the default)
+///   --checkpoint PATH
+///                journal completed sweep points to PATH as they finish;
+///                adds a "sweeps" object to the --json record
+///   --resume     with --checkpoint: serve points already in PATH from
+///                the journal instead of re-running them (without
+///                --resume the checkpoint is restarted from scratch)
 class BenchRun {
 public:
   BenchRun(std::string BenchName, int Argc, char **Argv)
@@ -105,15 +121,45 @@ public:
         }
         Schedule =
             *Choice == 0 ? SgemmSchedule::Drip : SgemmSchedule::List;
-      } else {
+      } else if (Arg == "--retries") {
+        auto N = parseInteger(needValue(), 0, 100);
+        if (!N) {
+          std::fprintf(stderr, "%s: --retries: %s\n", Name.c_str(),
+                       N.message().c_str());
+          std::exit(2);
+        }
+        Retries = static_cast<int>(*N);
+      } else if (Arg == "--point-timeout") {
+        auto N = parseInteger(needValue(), 0, INT64_MAX);
+        if (!N) {
+          std::fprintf(stderr, "%s: --point-timeout: %s\n", Name.c_str(),
+                       N.message().c_str());
+          std::exit(2);
+        }
+        PointTimeout = static_cast<uint64_t>(*N);
+      } else if (Arg == "--checkpoint")
+        CheckpointPath = needValue();
+      else if (Arg == "--resume")
+        Resume = true;
+      else {
         std::fprintf(stderr,
                      "%s: unknown option '%s'\n"
                      "usage: %s [--jobs N] [--json PATH] [--cache PATH] "
-                     "[--no-cache] [--schedule drip|list]\n",
+                     "[--no-cache] [--schedule drip|list] [--retries N] "
+                     "[--point-timeout CYCLES] [--checkpoint PATH] "
+                     "[--resume]\n",
                      Name.c_str(), Arg.c_str(), Name.c_str());
         std::exit(2);
       }
     }
+    if (Resume && CheckpointPath.empty()) {
+      std::fprintf(stderr, "%s: --resume requires --checkpoint PATH\n",
+                   Name.c_str());
+      std::exit(2);
+    }
+    if (!CheckpointPath.empty())
+      Checkpoint =
+          std::make_unique<SweepCheckpoint>(CheckpointPath, Resume);
   }
 
   ~BenchRun() {
@@ -154,6 +200,45 @@ public:
       W.kv(slotUseName(static_cast<SlotUse>(I)),
            End.Slots[I] - StartBreakdown.Slots[I]);
     W.endObject();
+    // Sweep summaries ride along only when checkpointing was requested,
+    // and failed points only when there were any, so records from plain
+    // runs keep the exact shape the committed perfdiff baselines pin.
+    // rows_fnv1a digests (index, rows) of every completed point, which
+    // is resume-independent: a kill+resume run must digest identically
+    // to an uninterrupted one (the CI crash-recovery stage gates this).
+    if (Checkpoint) {
+      W.key("sweeps");
+      W.beginObject();
+      for (const SweepReport &R : Sweeps) {
+        W.key(R.Name);
+        W.beginObject();
+        W.kv("points", static_cast<uint64_t>(R.Points));
+        W.kv("completed", static_cast<uint64_t>(R.Completed));
+        W.kv("rows_fnv1a",
+             formatString("%016llx",
+                          static_cast<unsigned long long>(R.RowsHash)));
+        W.endObject();
+      }
+      W.endObject();
+    }
+    bool AnyIncomplete = false;
+    for (const SweepReport &R : Sweeps)
+      AnyIncomplete |= !R.complete();
+    if (AnyIncomplete) {
+      W.key("incomplete");
+      W.beginArray();
+      for (const SweepReport &R : Sweeps)
+        for (const SweepPointFailure &F : R.Incomplete) {
+          W.beginObject();
+          W.kv("sweep", R.Name);
+          W.kv("point", static_cast<uint64_t>(F.Point));
+          W.kv("result", taskOutcomeName(F.Result));
+          W.kv("attempts", F.Attempts);
+          W.kv("reason", F.Reason);
+          W.endObject();
+        }
+      W.endArray();
+    }
     W.endObject();
     FILE *F = std::fopen(JsonPath.c_str(), "w");
     if (!F) {
@@ -183,12 +268,61 @@ public:
     return PerfDatabase(M, CachePath);
   }
 
+  /// Bench name (for diagnostics).
+  const std::string &name() const { return Name; }
+
+  /// Execution knobs for runSupervisedSweep, assembled from --jobs,
+  /// --retries, --point-timeout, and --checkpoint/--resume.
+  SweepOptions sweepOptions() {
+    SweepOptions O;
+    O.Jobs = Jobs;
+    O.Policy.MaxAttempts = Retries + 1;
+    O.Policy.DeadlineCycles = PointTimeout;
+    O.Checkpoint = Checkpoint.get();
+    return O;
+  }
+
+  /// Records \p R for the --json record ("sweeps"/"incomplete") and
+  /// reports anything noteworthy -- resumed points, failed points,
+  /// checkpoint append errors -- on stderr. Called by runSweepSupervised;
+  /// benches only call it directly when driving runSupervisedSweep
+  /// themselves.
+  void recordSweep(const SweepReport &R) {
+    // Resume/failure counts go to stderr, never into the JSON record:
+    // the record must be bit-identical between an uninterrupted run and
+    // a kill+resume run, and Resumed differs between the two.
+    if (R.Resumed > 0)
+      std::fprintf(stderr, "%s: sweep %s: resumed %zu/%zu points from "
+                           "checkpoint\n",
+                   Name.c_str(), R.Name.c_str(), R.Resumed, R.Points);
+    for (const SweepPointFailure &F : R.Incomplete)
+      std::fprintf(stderr,
+                   "%s: sweep %s: point %zu %s after %d attempt%s: %s\n",
+                   Name.c_str(), R.Name.c_str(), F.Point,
+                   taskOutcomeName(F.Result), F.Attempts,
+                   F.Attempts == 1 ? "" : "s", F.Reason.c_str());
+    if (R.CheckpointErrors > 0)
+      std::fprintf(stderr,
+                   "%s: sweep %s: %zu checkpoint append failure%s "
+                   "(first: %s); resume may re-run those points\n",
+                   Name.c_str(), R.Name.c_str(), R.CheckpointErrors,
+                   R.CheckpointErrors == 1 ? "" : "s",
+                   R.FirstCheckpointError.c_str());
+    Sweeps.push_back(R);
+  }
+
 private:
   std::string Name;
   std::string JsonPath;
   std::string CachePath;
+  std::string CheckpointPath;
   int Jobs = 0; ///< 0 = one worker per hardware thread.
+  int Retries = 0;
+  uint64_t PointTimeout = 0;
+  bool Resume = false;
   SgemmSchedule Schedule = SgemmSchedule::Drip;
+  std::unique_ptr<SweepCheckpoint> Checkpoint;
+  std::vector<SweepReport> Sweeps;
   std::chrono::steady_clock::time_point Start;
   uint64_t StartCycles;
   StallBreakdown StartBreakdown;
@@ -234,6 +368,23 @@ auto runSweep(int Jobs, size_t N, Fn &&Point)
   std::vector<decltype(Point(size_t(0)))> Results(N);
   parallelFor(Jobs, N, [&](size_t I) { Results[I] = Point(I); });
   return Results;
+}
+
+/// The supervised counterpart: evaluates \p Point under \p Run's
+/// --retries/--point-timeout policy with --checkpoint/--resume support,
+/// and records the sweep report for the --json record. Returns per-point
+/// rows; nullopt marks a point the supervisor could not complete (listed
+/// in "incomplete" and on stderr -- render only the completed rows, so
+/// stdout is unchanged whenever nothing fails). \p Name must be unique
+/// within the bench (one entry per machine, e.g. "fig4_gtx580"): it keys
+/// both the checkpoint records and the JSON summary. With every point
+/// healthy and no checkpoint, output is bit-identical to runSweep.
+inline std::vector<std::optional<std::vector<std::string>>>
+runSweepSupervised(BenchRun &Run, const std::string &Name, size_t N,
+                   const SweepPointFn &Point) {
+  SweepResult R = runSupervisedSweep(Run.sweepOptions(), Name, N, Point);
+  Run.recordSweep(R.Report);
+  return std::move(R.Rows);
 }
 
 } // namespace gpuperf

@@ -13,7 +13,7 @@
 
 using namespace gpuperf;
 
-static void sweep(const BenchRun &Run, const MachineDesc &M) {
+static void sweep(BenchRun &Run, const MachineDesc &M) {
   benchHeader(formatString("Figure 2 (%s): throughput mixing FFMA and "
                            "LDS.X, independent",
                            M.Name.c_str()));
@@ -22,22 +22,26 @@ static void sweep(const BenchRun &Run, const MachineDesc &M) {
                                    10, 12, 16, 20, 24, 28, 32};
   // One sweep point per ratio; the three widths inside a point share its
   // thread. Rows come back in ratio order whatever the job count.
-  auto Rows = runSweep(Run.jobs(), Ratios.size(), [&](size_t I) {
-    std::vector<std::string> Row = {formatString("%d", Ratios[I])};
-    for (MemWidth W : {MemWidth::B32, MemWidth::B64, MemWidth::B128}) {
-      MixBenchParams P;
-      P.FfmaPerLds = Ratios[I];
-      P.Width = W;
-      Kernel K = generateMixBench(M, P);
-      Row.push_back(
-          formatDouble(DB.measureKernel(K, MeasureConfig()), 1));
-    }
-    return Row;
-  });
+  auto Rows = runSweepSupervised(
+      Run, formatString("fig2_%s", M.Name.c_str()), Ratios.size(),
+      [&](size_t I, const Supervisor::Attempt &) {
+        std::vector<std::string> Row = {formatString("%d", Ratios[I])};
+        for (MemWidth W :
+             {MemWidth::B32, MemWidth::B64, MemWidth::B128}) {
+          MixBenchParams P;
+          P.FfmaPerLds = Ratios[I];
+          P.Width = W;
+          Kernel K = generateMixBench(M, P);
+          Row.push_back(
+              formatDouble(DB.measureKernel(K, MeasureConfig()), 1));
+        }
+        return SweepPointAttempt::ok(std::move(Row));
+      });
   Table T;
   T.setHeader({"FFMA/LDS ratio", "LDS", "LDS.64", "LDS.128"});
   for (auto &Row : Rows)
-    T.addRow(Row);
+    if (Row)
+      T.addRow(*Row);
   benchPrint(T.render());
   benchPrint("\n");
 

@@ -12,23 +12,28 @@
 
 using namespace gpuperf;
 
-static void sweep(const BenchRun &Run, const MachineDesc &M,
+static void sweep(BenchRun &Run, const MachineDesc &M,
                   const std::vector<int> &Threads) {
   benchHeader(formatString(
       "Figure 4 (%s): FFMA/LDS.64 6:1 mix vs active threads per SM",
       M.Name.c_str()));
   PerfDatabase DB = Run.makeDatabase(M);
-  auto Rows = runSweep(Run.jobs(), Threads.size(), [&](size_t I) {
-    int N = Threads[I];
-    return std::vector<std::string>{
-        formatString("%d", N),
-        formatDouble(DB.mixThroughput(6, MemWidth::B64, true, N), 1),
-        formatDouble(DB.mixThroughput(6, MemWidth::B64, false, N), 1)};
-  });
+  auto Rows = runSweepSupervised(
+      Run, formatString("fig4_%s", M.Name.c_str()), Threads.size(),
+      [&](size_t I, const Supervisor::Attempt &) {
+        int N = Threads[I];
+        return SweepPointAttempt::ok(
+            {formatString("%d", N),
+             formatDouble(DB.mixThroughput(6, MemWidth::B64, true, N),
+                          1),
+             formatDouble(DB.mixThroughput(6, MemWidth::B64, false, N),
+                          1)});
+      });
   Table T;
   T.setHeader({"active threads", "dependent", "independent"});
   for (auto &Row : Rows)
-    T.addRow(Row);
+    if (Row)
+      T.addRow(*Row);
   benchPrint(T.render());
   benchPrint("\n");
 }

@@ -19,24 +19,31 @@ int main(int Argc, char **Argv) {
   const MachineDesc &M = gtx580();
   const std::vector<int> Sizes = {480,  960,  1440, 1920, 2400,
                                   2880, 3360, 3840, 4320, 4800};
-  auto Rows = runSweep(Run.jobs(), Sizes.size(), [&](size_t I) {
-    SgemmProblem P;
-    P.M = P.N = P.K = Sizes[I];
-    SgemmRunOptions O;
-    O.Mode = SimMode::ProjectOneWave;
-    std::vector<std::string> Row = {formatString("%d", Sizes[I])};
-    for (SgemmImpl Impl : {SgemmImpl::AsmTuned, SgemmImpl::CublasLike,
-                           SgemmImpl::MagmaLike}) {
-      auto R = runSgemm(M, Impl, P, O);
-      Row.push_back(R ? formatDouble(R->Gflops, 0)
-                      : "error: " + R.message());
-    }
-    return Row;
-  });
+  auto Rows = runSweepSupervised(
+      Run, "fig6", Sizes.size(),
+      [&](size_t I, const Supervisor::Attempt &) {
+        SgemmProblem P;
+        P.M = P.N = P.K = Sizes[I];
+        SgemmRunOptions O;
+        O.Mode = SimMode::ProjectOneWave;
+        std::vector<std::string> Row = {formatString("%d", Sizes[I])};
+        for (SgemmImpl Impl : {SgemmImpl::AsmTuned,
+                               SgemmImpl::CublasLike,
+                               SgemmImpl::MagmaLike}) {
+          auto R = runSgemm(M, Impl, P, O);
+          // A failed run is deterministic (the simulator is), so let
+          // the supervisor quarantine the point rather than retry it.
+          if (!R)
+            return SweepPointAttempt::fatal(R.message());
+          Row.push_back(formatDouble(R->Gflops, 0));
+        }
+        return SweepPointAttempt::ok(std::move(Row));
+      });
   Table T;
   T.setHeader({"size", "assembly", "cublas-like", "magma-like"});
   for (auto &Row : Rows)
-    T.addRow(Row);
+    if (Row)
+      T.addRow(*Row);
   benchPrint(T.render());
   benchPrint(formatString(
       "\nTheoretical peak %.0f GFLOPS; paper: assembly ~74%%, ~5%% above "

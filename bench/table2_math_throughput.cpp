@@ -27,19 +27,22 @@ int main(int Argc, char **Argv) {
   Cfg.BlocksPerSM = 1;
 
   const std::vector<Table2Row> Patterns = table2Patterns();
-  auto Rows = runSweep(Run.jobs(), Patterns.size(), [&](size_t I) {
-    const Table2Row &Row = Patterns[I];
-    Kernel K = generateOpPatternBench(M, Row.Pattern);
-    double Measured = DB.measureKernel(K, Cfg);
-    return std::vector<std::string>{
-        Row.Syntax, formatDouble(Row.PaperThroughput, 1),
-        formatDouble(Measured, 1),
-        formatDouble(Measured / Row.PaperThroughput, 3)};
-  });
+  auto Rows = runSweepSupervised(
+      Run, "table2", Patterns.size(),
+      [&](size_t I, const Supervisor::Attempt &) {
+        const Table2Row &Row = Patterns[I];
+        Kernel K = generateOpPatternBench(M, Row.Pattern);
+        double Measured = DB.measureKernel(K, Cfg);
+        return SweepPointAttempt::ok(
+            {Row.Syntax, formatDouble(Row.PaperThroughput, 1),
+             formatDouble(Measured, 1),
+             formatDouble(Measured / Row.PaperThroughput, 3)});
+      });
   Table T;
   T.setHeader({"pattern", "paper", "measured", "ratio"});
   for (auto &Row : Rows)
-    T.addRow(Row);
+    if (Row)
+      T.addRow(*Row);
   benchPrint(T.render());
 
   // The Section 3.3 repeated-source structure.

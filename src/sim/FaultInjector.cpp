@@ -80,6 +80,53 @@ std::string InjectionRun::signature() const {
   return "?";
 }
 
+std::string BatchSummary::toString() const {
+  std::string S = formatString(
+      "%zu runs: %zu completed, %zu rejected, %zu trapped", Total, Completed,
+      Rejected, Trapped);
+  if (!TrapCounts.empty()) {
+    S += " (";
+    bool First = true;
+    for (const auto &[Kind, Count] : TrapCounts) {
+      if (!First)
+        S += ", ";
+      First = false;
+      S += formatString("%s x%zu", trapKindName(Kind), Count);
+    }
+    S += ")";
+  }
+  if (FirstFailureIndex >= 0)
+    S += formatString("; first failure #%d: %s", FirstFailureIndex,
+                      FirstFailureSignature.c_str());
+  return S;
+}
+
+BatchSummary gpuperf::summarizeBatch(const std::vector<InjectionRun> &Runs) {
+  BatchSummary Sum;
+  Sum.Total = Runs.size();
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    const InjectionRun &R = Runs[I];
+    switch (R.Result) {
+    case InjectionRun::Outcome::Completed:
+      ++Sum.Completed;
+      continue;
+    case InjectionRun::Outcome::Rejected:
+      ++Sum.Rejected;
+      break;
+    case InjectionRun::Outcome::Trapped:
+      ++Sum.Trapped;
+      if (R.Trap)
+        ++Sum.TrapCounts[R.Trap->Kind];
+      break;
+    }
+    if (Sum.FirstFailureIndex < 0) {
+      Sum.FirstFailureIndex = static_cast<int>(I);
+      Sum.FirstFailureSignature = R.signature();
+    }
+  }
+  return Sum;
+}
+
 FaultInjector::FaultInjector(const MachineDesc &M, Module Base,
                              LaunchConfig Launch, size_t MemBytes)
     : M(M), Base(std::move(Base)), Launch(std::move(Launch)),
@@ -174,11 +221,13 @@ InjectionRun FaultInjector::runOne(const FaultPlan &Plan) const {
 }
 
 std::vector<InjectionRun>
-FaultInjector::runBatch(const std::vector<FaultPlan> &Plans,
-                        int Jobs) const {
+FaultInjector::runBatch(const std::vector<FaultPlan> &Plans, int Jobs,
+                        BatchSummary *Summary) const {
   std::vector<InjectionRun> Runs(Plans.size());
   parallelFor(Jobs, Plans.size(),
               [&](size_t I) { Runs[I] = runOne(Plans[I]); });
+  if (Summary)
+    *Summary = summarizeBatch(Runs);
   return Runs;
 }
 

@@ -22,6 +22,7 @@
 
 #include "sim/Launcher.h"
 
+#include <map>
 #include <optional>
 
 namespace gpuperf {
@@ -66,6 +67,32 @@ struct InjectionRun {
   std::string signature() const;
 };
 
+/// Structured roll-up of a mutant batch: per-outcome counts, per-trap
+/// -kind counts, and the first non-completed run -- so callers (tests,
+/// sweep reports, future atlas health checks) consume one summary
+/// instead of each re-deriving the tallies from the run vector.
+struct BatchSummary {
+  size_t Total = 0;
+  size_t Completed = 0;
+  size_t Rejected = 0;
+  size_t Trapped = 0;
+  /// Trap occurrences per kind; keys only for kinds that occurred, so
+  /// the values always sum to Trapped.
+  std::map<TrapKind, size_t> TrapCounts;
+  /// First run (plan order) that did not complete: index and full
+  /// signature. -1 when every run completed.
+  int FirstFailureIndex = -1;
+  std::string FirstFailureSignature;
+
+  /// One-line human rendering, e.g.
+  /// "550 runs: 312 completed, 121 rejected, 117 trapped
+  ///  (SHARED_LOAD_OOB x48, ...); first failure #3: trapped: ...".
+  std::string toString() const;
+};
+
+/// Tallies \p Runs (in plan order) into a BatchSummary.
+BatchSummary summarizeBatch(const std::vector<InjectionRun> &Runs);
+
 /// Drives mutants of one base module through the full simulator.
 ///
 /// The base launch configuration (grid, params, watchdog) and the global
@@ -92,9 +119,12 @@ public:
   /// fully independent -- each gets its own module copy and fresh global
   /// memory -- and results land in plan order, so the returned vector is
   /// identical for every Jobs value: runBatch(P, 8) == runBatch(P, 1)
-  /// == {runOne(P[0]), runOne(P[1]), ...}.
+  /// == {runOne(P[0]), runOne(P[1]), ...}. When \p Summary is non-null
+  /// it receives summarizeBatch() of the returned runs (same counts for
+  /// every Jobs value).
   std::vector<InjectionRun> runBatch(const std::vector<FaultPlan> &Plans,
-                                     int Jobs = 1) const;
+                                     int Jobs = 1,
+                                     BatchSummary *Summary = nullptr) const;
 
 private:
   InjectionRun runModuleBytes(const std::vector<uint8_t> &Bytes) const;

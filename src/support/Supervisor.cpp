@@ -1,0 +1,103 @@
+//===- support/Supervisor.cpp - per-task retry/deadline supervision -------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Supervisor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace gpuperf;
+
+namespace {
+
+std::function<void(int)> SleepFn; ///< Testing override (see header).
+
+void backoffSleep(int Ms) {
+  if (Ms <= 0)
+    return;
+  if (SleepFn) {
+    SleepFn(Ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+} // namespace
+
+const char *gpuperf::taskOutcomeName(TaskOutcome::State S) {
+  switch (S) {
+  case TaskOutcome::State::Ok:
+    return "ok";
+  case TaskOutcome::State::TimedOut:
+    return "timed-out";
+  case TaskOutcome::State::Quarantined:
+    return "quarantined";
+  case TaskOutcome::State::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+void Supervisor::setSleepFnForTesting(std::function<void(int)> Fn) {
+  SleepFn = std::move(Fn);
+}
+
+int Supervisor::backoffMs(const SupervisorPolicy &P, int Retry) {
+  assert(Retry >= 1 && "backoff is only taken before a retry");
+  if (P.BackoffBaseMs <= 0)
+    return 0;
+  // Saturate the shift rather than overflowing for absurd retry counts.
+  int Shift = std::min(Retry - 1, 20);
+  long Ms = static_cast<long>(P.BackoffBaseMs) << Shift;
+  return static_cast<int>(
+      std::min<long>(Ms, std::max(P.BackoffBaseMs, P.BackoffCapMs)));
+}
+
+TaskOutcome Supervisor::run(
+    const std::function<AttemptResult(const Attempt &)> &Task) const {
+  const int MaxAttempts = std::max(1, Policy.MaxAttempts);
+  TaskOutcome Out;
+  uint64_t Deadline = Policy.DeadlineCycles;
+
+  for (int I = 0; I < MaxAttempts; ++I) {
+    Attempt A;
+    A.Index = I;
+    A.DeadlineCycles = Deadline;
+    AttemptResult R = Task(A);
+    ++Out.Attempts;
+
+    switch (R.K) {
+    case AttemptResult::Kind::Ok:
+      Out.Result = TaskOutcome::State::Ok;
+      Out.Error.clear();
+      return Out;
+    case AttemptResult::Kind::Fatal:
+      // Deterministic: every retry would fail identically, so the task
+      // goes straight to the quarantine list.
+      Out.Result = TaskOutcome::State::Quarantined;
+      Out.Error = std::move(R.Error);
+      return Out;
+    case AttemptResult::Kind::Timeout:
+      Out.Result = TaskOutcome::State::TimedOut;
+      Out.Error = std::move(R.Error);
+      // Escalate: the next attempt gets double the cycle budget (the
+      // point may simply be slower than the configured deadline).
+      if (Deadline && Deadline <= (uint64_t(1) << 62))
+        Deadline *= 2;
+      break;
+    case AttemptResult::Kind::Transient:
+      Out.Result = TaskOutcome::State::Failed;
+      Out.Error = std::move(R.Error);
+      break;
+    }
+
+    if (I + 1 < MaxAttempts)
+      backoffSleep(backoffMs(Policy, I + 1));
+  }
+  return Out;
+}

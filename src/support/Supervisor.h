@@ -1,0 +1,124 @@
+//===- support/Supervisor.h - per-task retry/deadline supervision -*- C++ -*-===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Supervised execution of one unit of work (a sweep point, a cache
+/// write, a mutant run): bounded retries with exponential backoff for
+/// transient failures, deadline escalation for timeouts (the sweep-level
+/// analog of the per-launch watchdog -- every retry of a timed-out task
+/// gets a doubled cycle budget), and immediate quarantine for failures
+/// the task itself declares deterministic (the simulator is
+/// bit-reproducible, so a trap will trap identically on every retry and
+/// retrying it only burns time).
+///
+/// The task reports each attempt's result as an AttemptResult; the
+/// supervisor owns the retry loop and classifies the final outcome.
+/// Used by the checkpointed sweep engine (ubench/SweepRunner) so a
+/// single hostile point degrades a sweep to "complete minus an explicit
+/// incomplete list" instead of aborting it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUPERF_SUPPORT_SUPERVISOR_H
+#define GPUPERF_SUPPORT_SUPERVISOR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gpuperf {
+
+/// Retry/deadline policy for one supervised task.
+struct SupervisorPolicy {
+  /// Total attempts (>= 1). 1 means "no retries".
+  int MaxAttempts = 1;
+  /// Backoff before retry K (1-based) is BackoffBaseMs << (K-1),
+  /// capped at BackoffCapMs. 0 disables sleeping entirely.
+  int BackoffBaseMs = 1;
+  int BackoffCapMs = 1000;
+  /// Cycle budget offered to the first attempt (0 = unlimited). Each
+  /// retry after a timeout doubles it, mirroring how a human would
+  /// escalate a watchdog that fired on a legitimately slow point.
+  uint64_t DeadlineCycles = 0;
+};
+
+/// What one attempt of a supervised task reports back.
+struct AttemptResult {
+  enum class Kind {
+    Ok,        ///< Attempt succeeded.
+    Transient, ///< Environmental failure (contention, EINTR): retry
+               ///< after backoff, same deadline.
+    Timeout,   ///< Deadline exhausted: retry with a doubled deadline.
+    Fatal,     ///< Deterministic failure (trap, rejection): retrying
+               ///< cannot change the outcome -- quarantine immediately.
+  };
+
+  Kind K = Kind::Ok;
+  std::string Error; ///< Empty for Ok.
+
+  static AttemptResult ok() { return {}; }
+  static AttemptResult transient(std::string Why) {
+    return {Kind::Transient, std::move(Why)};
+  }
+  static AttemptResult timeout(std::string Why) {
+    return {Kind::Timeout, std::move(Why)};
+  }
+  static AttemptResult fatal(std::string Why) {
+    return {Kind::Fatal, std::move(Why)};
+  }
+};
+
+/// Final classification of a supervised task.
+struct TaskOutcome {
+  enum class State {
+    Ok,          ///< Some attempt succeeded.
+    TimedOut,    ///< Every attempt exhausted its (escalated) deadline.
+    Quarantined, ///< The task declared a deterministic failure.
+    Failed,      ///< Transient failures persisted through every attempt.
+  };
+
+  State Result = State::Ok;
+  int Attempts = 0;     ///< Attempts actually made.
+  std::string Error;    ///< Last failure message (empty for Ok).
+
+  bool ok() const { return Result == State::Ok; }
+};
+
+const char *taskOutcomeName(TaskOutcome::State S);
+
+/// Runs tasks under a SupervisorPolicy. Stateless between run() calls
+/// and safe to share across threads.
+class Supervisor {
+public:
+  /// Per-attempt context handed to the task.
+  struct Attempt {
+    int Index = 0;              ///< 0-based attempt number.
+    uint64_t DeadlineCycles = 0; ///< Escalated budget (0 = unlimited).
+  };
+
+  explicit Supervisor(SupervisorPolicy P) : Policy(P) {}
+
+  /// Runs \p Task up to MaxAttempts times and classifies the outcome.
+  TaskOutcome
+  run(const std::function<AttemptResult(const Attempt &)> &Task) const;
+
+  const SupervisorPolicy &policy() const { return Policy; }
+
+  /// Backoff sleep delay (ms) before 1-based retry \p Retry under \p P.
+  static int backoffMs(const SupervisorPolicy &P, int Retry);
+
+  /// Replaces the backoff sleep (nullptr restores the real sleep). The
+  /// tests use this to pin the backoff schedule without waiting it out.
+  /// Not thread-safe; set only from single-threaded test code.
+  static void setSleepFnForTesting(std::function<void(int)> Fn);
+
+private:
+  SupervisorPolicy Policy;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_SUPPORT_SUPERVISOR_H

@@ -13,12 +13,25 @@
 /// from it.
 ///
 /// Measurements can be *persistent*: constructed with a cache path, the
-/// database loads previously-measured entries and writes new ones back on
-/// destruction, so re-running a bench skips every microbenchmark whose
-/// inputs are unchanged. Entries are keyed by (machine name, kernel name,
-/// measurement shape, FNV-1a hash of the generated binary), so any change
-/// to a generator, the ISA encoding, or the notation tuner changes the
-/// hash and invalidates exactly the affected entries.
+/// database loads previously-measured entries and makes every new one
+/// durable the moment it is measured, so re-running a bench skips every
+/// microbenchmark whose inputs are unchanged. Entries are keyed by
+/// (machine name, kernel name, measurement shape, FNV-1a hash of the
+/// generated binary), so any change to a generator, the ISA encoding, or
+/// the notation tuner changes the hash and invalidates exactly the
+/// affected entries.
+///
+/// Durability model (DESIGN.md section 13). The on-disk state is a
+/// *snapshot* (the GPDB file, written atomically with temp + fsync +
+/// rename + directory sync) plus an append-only *journal*
+/// (<snapshot>.journal) of CRC32-framed records, each fsync'd before the
+/// measurement is returned to the caller. Loading replays
+/// snapshot-then-journal, truncating the journal at the first corrupt
+/// frame instead of rejecting the whole cache; once the journal passes a
+/// size threshold (or at destruction) it is compacted into a fresh
+/// snapshot and emptied, snapshot-write-first so a crash at any point
+/// loses no acknowledged record. Old caches are plain snapshots and load
+/// unchanged.
 ///
 /// All entry points are thread-safe, so parallel bench sweeps can share
 /// one database; a key measured concurrently by two threads is measured
@@ -44,10 +57,11 @@ public:
   explicit PerfDatabase(const MachineDesc &M) : M(M) {}
 
   /// Persistent: loads \p CachePath if it exists (a corrupt or
-  /// unreadable file is ignored and will be overwritten), and saves on
-  /// destruction when new measurements were made. An empty path means
-  /// in-memory only, so callers can thread a --no-cache flag through as
-  /// "".
+  /// unreadable snapshot is ignored and will be overwritten; its journal
+  /// is replayed up to the first corrupt frame), appends every new
+  /// measurement to the fsync'd journal as it is made, and compacts
+  /// journal into snapshot on destruction. An empty path means in-memory
+  /// only, so callers can thread a --no-cache flag through as "".
   PerfDatabase(const MachineDesc &M, std::string CachePath);
 
   ~PerfDatabase();
@@ -84,20 +98,30 @@ public:
   /// Number of entries currently held (loaded + measured).
   size_t entryCount() const;
 
-  /// Merges entries from \p Path into this database. Fails (leaving the
-  /// database unchanged) on missing files, bad magic/version, or a
-  /// structurally corrupt body -- the same sanity-cap stance as
-  /// Module::deserialize.
+  /// Merges entries from \p Path (snapshot plus journal) into this
+  /// database. The snapshot is strict -- bad magic/version or a
+  /// structurally corrupt body fails, the same sanity-cap stance as
+  /// Module::deserialize, and the returned Status reports it. The
+  /// journal is lenient: replay stops at the first corrupt frame and
+  /// truncates the file there, so a torn tail costs at most the one
+  /// unacknowledged record (pinned frame-by-frame by perf_journal_test).
   Status load(const std::string &Path);
 
-  /// Writes all entries to \p Path, first merging entries already in the
-  /// file (concurrently-written entries from another process are kept
-  /// unless this database re-measured the same key). The write is atomic:
-  /// bytes go to a same-directory temporary file that is renamed over
-  /// \p Path only after a complete write, so a crash, full disk or short
-  /// write mid-save leaves the previous cache file untouched (pinned by
-  /// perf_cache_test).
-  Status save(const std::string &Path) const;
+  /// Compacts all entries into the snapshot at \p Path, first merging
+  /// entries already on disk there (concurrently-written entries from
+  /// another process are kept, in its snapshot or its journal, unless
+  /// this database re-measured the same key). The write is durable and
+  /// atomic: bytes go to a same-directory temporary that is fsync'd,
+  /// renamed over \p Path, and the directory is fsync'd -- a crash, full
+  /// disk or short write mid-save leaves the previous cache file
+  /// untouched (pinned by perf_cache_test). Only after the snapshot is
+  /// durable is the journal emptied.
+  Status save(const std::string &Path);
+
+  /// The append-only journal sitting next to snapshot \p CachePath.
+  static std::string journalPath(const std::string &CachePath) {
+    return CachePath + ".journal";
+  }
 
   /// FNV-1a hash of the kernel exactly as it would reach the simulator
   /// (serialized through the binary module format for \p Arch).
@@ -114,6 +138,16 @@ public:
 private:
   std::string keyFor(const Kernel &K, const MeasureConfig &Cfg) const;
 
+  /// Appends one CRC32-framed record and fsyncs it (the acknowledgment
+  /// barrier), then compacts when the journal passed its size
+  /// threshold. Caller holds Mutex.
+  Status appendJournalLocked(const std::string &Key, double Value);
+
+  /// Folds snapshot + journal + Store into a fresh durable snapshot,
+  /// then empties the journal -- in that order, so a crash at any point
+  /// leaves every record recoverable. Caller holds Mutex.
+  void compactLocked();
+
   const MachineDesc &M;
   std::string CachePath;
 
@@ -121,14 +155,24 @@ private:
   std::map<std::string, double> Store; ///< Guarded by Mutex.
   size_t Hits = 0, Misses = 0;         ///< Guarded by Mutex.
   bool Dirty = false;                  ///< Guarded by Mutex.
+  int JournalFd = -1;                  ///< Guarded by Mutex.
+  size_t JournalBytes = 0;             ///< Guarded by Mutex.
 };
 
 /// Testing hook: caps the number of bytes PerfDatabase::save may write
 /// to its temporary file (0 = unlimited, the default). A capped save
 /// fails like a full disk would -- the test suite uses this to prove a
 /// failed save cannot clobber the previous cache file. Not thread-safe;
-/// set only from single-threaded test code.
+/// set only from single-threaded test code. (Delegates to
+/// setDurableWriteByteLimitForTesting in support/FileIO.h, so it also
+/// caps compaction snapshot writes.)
 void setPerfCacheSaveByteLimitForTesting(size_t Limit);
+
+/// Testing hook: journal size (bytes) past which an append triggers
+/// compaction (0 = the production default). Lowering it makes every
+/// append compact, which is how the kill-during-compaction tests reach
+/// the interesting crash windows cheaply.
+void setPerfJournalCompactionThresholdForTesting(size_t Bytes);
 
 } // namespace gpuperf
 

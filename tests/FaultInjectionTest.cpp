@@ -99,40 +99,81 @@ TEST_F(FaultInjection, BaselineCompletesDeterministically) {
 }
 
 TEST_F(FaultInjection, FiveHundredMutantsNeverCrash) {
-  int Completed = 0, Rejected = 0, Trapped = 0, Total = 0;
-  for (FaultKind Kind : AllKinds) {
+  std::vector<FaultPlan> Plans;
+  for (FaultKind Kind : AllKinds)
     for (uint64_t Seed = 0; Seed < 110; ++Seed) {
       FaultPlan Plan;
       Plan.Kind = Kind;
       Plan.Seed = Seed;
       Plan.NumMutations = 1 + static_cast<int>(Seed % 3);
-      InjectionRun Run = FI->runOne(Plan);
-      ++Total;
-      std::string Context =
-          std::string(faultKindName(Kind)) + " seed " +
-          std::to_string(Seed) + ": " + Run.signature();
-      switch (Run.Result) {
-      case InjectionRun::Outcome::Completed:
-        ++Completed;
-        break;
-      case InjectionRun::Outcome::Rejected:
-        ++Rejected;
-        EXPECT_FALSE(Run.RejectReason.empty()) << Context;
-        break;
-      case InjectionRun::Outcome::Trapped:
-        ++Trapped;
-        checkTrap(Run, Context.c_str());
-        break;
-      }
+      Plans.push_back(Plan);
     }
+
+  BatchSummary Summary;
+  std::vector<InjectionRun> Runs = FI->runBatch(Plans, 1, &Summary);
+  ASSERT_EQ(Runs.size(), Plans.size());
+
+  size_t Completed = 0, Rejected = 0, Trapped = 0;
+  std::map<TrapKind, size_t> TrapCounts;
+  int FirstFailure = -1;
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    const InjectionRun &Run = Runs[I];
+    std::string Context = std::string(faultKindName(Plans[I].Kind)) +
+                          " seed " + std::to_string(Plans[I].Seed) +
+                          ": " + Run.signature();
+    switch (Run.Result) {
+    case InjectionRun::Outcome::Completed:
+      ++Completed;
+      break;
+    case InjectionRun::Outcome::Rejected:
+      ++Rejected;
+      EXPECT_FALSE(Run.RejectReason.empty()) << Context;
+      break;
+    case InjectionRun::Outcome::Trapped:
+      ++Trapped;
+      ++TrapCounts[Run.Trap->Kind];
+      checkTrap(Run, Context.c_str());
+      break;
+    }
+    if (FirstFailure < 0 && Run.Result != InjectionRun::Outcome::Completed)
+      FirstFailure = static_cast<int>(I);
   }
-  EXPECT_EQ(Total, 550);
-  EXPECT_EQ(Completed + Rejected + Trapped, Total);
+  EXPECT_EQ(Runs.size(), 550u);
+  EXPECT_EQ(Completed + Rejected + Trapped, Runs.size());
   // The mutation families are hostile enough that all three outcomes
   // must show up in a batch this size (seeded, so this is stable).
-  EXPECT_GT(Trapped, 0);
-  EXPECT_GT(Rejected, 0);
-  EXPECT_GT(Completed, 0);
+  EXPECT_GT(Trapped, 0u);
+  EXPECT_GT(Rejected, 0u);
+  EXPECT_GT(Completed, 0u);
+
+  // The structured partial-failure summary must agree exactly with the
+  // tallies derived from the run vector itself.
+  EXPECT_EQ(Summary.Total, Runs.size());
+  EXPECT_EQ(Summary.Completed, Completed);
+  EXPECT_EQ(Summary.Rejected, Rejected);
+  EXPECT_EQ(Summary.Trapped, Trapped);
+  EXPECT_EQ(Summary.TrapCounts, TrapCounts);
+  size_t TrapSum = 0;
+  for (const auto &[Kind, Count] : Summary.TrapCounts)
+    TrapSum += Count;
+  EXPECT_EQ(TrapSum, Summary.Trapped)
+      << "per-kind counts must sum to the trapped total";
+  ASSERT_GE(Summary.FirstFailureIndex, 0);
+  EXPECT_EQ(Summary.FirstFailureIndex, FirstFailure);
+  EXPECT_EQ(Summary.FirstFailureSignature,
+            Runs[static_cast<size_t>(FirstFailure)].signature());
+
+  // toString renders every count (spot-check the shape, not the exact
+  // seeded numbers).
+  std::string S = Summary.toString();
+  EXPECT_NE(S.find("550 runs"), std::string::npos) << S;
+  EXPECT_NE(S.find("first failure #"), std::string::npos) << S;
+
+  // Identical plans through summarize() directly: same summary.
+  BatchSummary Direct = summarizeBatch(Runs);
+  EXPECT_EQ(Direct.Total, Summary.Total);
+  EXPECT_EQ(Direct.TrapCounts, Summary.TrapCounts);
+  EXPECT_EQ(Direct.FirstFailureIndex, Summary.FirstFailureIndex);
 }
 
 TEST_F(FaultInjection, MutantRunsAreDeterministic) {

@@ -52,7 +52,10 @@ protected:
            ".gpdb";
     std::remove(Path.c_str());
   }
-  void TearDown() override { std::remove(Path.c_str()); }
+  void TearDown() override {
+    std::remove(Path.c_str());
+    std::remove(PerfDatabase::journalPath(Path).c_str());
+  }
 
   std::string Path;
 };
@@ -152,21 +155,25 @@ TEST_F(PerfCache, FailedSaveLeavesPreviousCacheIntact) {
   // The atomic-save regression: save() writes a temporary and renames it
   // into place, so a save that dies mid-write (full disk, crash) must
   // leave the previous cache bytes untouched -- not a truncated file the
-  // next load would reject wholesale.
+  // next load would reject wholesale. With the write-ahead journal the
+  // guarantee is stronger still: the measurement acknowledged before the
+  // failed save stays durable in the journal, so nothing is lost at all.
   const MachineDesc &M = gtx580();
   Kernel A = smallKernel(M, 2), B = smallKernel(M, 4);
-  double First;
+  double First, Second;
   {
     PerfDatabase DB(M, Path);
     First = DB.measureKernel(A, smallConfig());
     ASSERT_FALSE(DB.save(Path).failed());
   }
 
-  // Simulate disk-full: the save may write at most 5 bytes.
+  // Simulate disk-full: the snapshot save may write at most 5 bytes.
+  // (The journal append is a plain append, not a durable whole-file
+  // write, so it is unaffected -- exactly the point of journaling.)
   setPerfCacheSaveByteLimitForTesting(5);
   {
     PerfDatabase DB(M, Path);
-    DB.measureKernel(B, smallConfig());
+    Second = DB.measureKernel(B, smallConfig());
     Status S = DB.save(Path);
     EXPECT_TRUE(S.failed());
     EXPECT_NE(S.message().find("previous cache left intact"),
@@ -175,12 +182,14 @@ TEST_F(PerfCache, FailedSaveLeavesPreviousCacheIntact) {
   }
   setPerfCacheSaveByteLimitForTesting(0);
 
-  // The original single-entry cache is still fully loadable; no stray
-  // temporary remains to confuse a later save.
+  // The original snapshot is still fully loadable, B survived in the
+  // journal, and no stray temporary remains to confuse a later save.
   PerfDatabase Check(M, Path);
-  EXPECT_EQ(Check.entryCount(), 1u);
+  EXPECT_EQ(Check.entryCount(), 2u);
   EXPECT_EQ(Check.measureKernel(A, smallConfig()), First);
-  EXPECT_EQ(Check.misses(), 0u);
+  EXPECT_EQ(Check.measureKernel(B, smallConfig()), Second);
+  EXPECT_EQ(Check.misses(), 0u)
+      << "acknowledged measurements must survive a failed snapshot save";
   std::ifstream Tmp(Path + ".tmp." + std::to_string(getpid()));
   EXPECT_FALSE(Tmp.good()) << "failed save must remove its temporary";
 }

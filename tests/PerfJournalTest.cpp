@@ -1,0 +1,336 @@
+//===- tests/PerfJournalTest.cpp - write-ahead journal crash safety -------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PerfDatabase write-ahead journal's durability contract, driven
+/// through fault injection on the I/O layer (the file-system analog of
+/// sim/FaultInjector): a measurement acknowledged to a caller survives a
+/// crash at *any* byte boundary of any later journal append -- torn
+/// writes, bit flips, and kills during compaction included. Recovery
+/// truncates at the first corrupt frame instead of rejecting the whole
+/// cache, and compaction preserves the snapshot-or-journal invariant:
+/// after a simulated crash on either side of the snapshot rename, every
+/// acknowledged record is still recoverable from the snapshot, the
+/// journal, or both.
+///
+/// Crash states are reproduced by capturing the on-disk bytes at the
+/// moment of interest (what SIGKILL would leave) and restoring them for
+/// a fresh database -- the live object's clean-shutdown compaction never
+/// runs "in" the simulated crashed process.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+#include "ubench/PerfDatabase.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace gpuperf;
+
+namespace {
+
+Kernel smallKernel(const MachineDesc &M, int Ratio) {
+  MixBenchParams P;
+  P.FfmaPerLds = Ratio;
+  P.BodyInsts = 128;
+  return generateMixBench(M, P);
+}
+
+MeasureConfig smallConfig() {
+  MeasureConfig Cfg;
+  Cfg.ThreadsPerBlock = 64;
+  Cfg.BlocksPerSM = 1;
+  return Cfg;
+}
+
+std::vector<uint8_t> readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(In)),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeFile(const std::string &Path, const std::vector<uint8_t> &B) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(B.data()),
+            static_cast<std::streamsize>(B.size()));
+}
+
+size_t fileSize(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 ? static_cast<size_t>(St.st_size)
+                                        : 0;
+}
+
+uint32_t readU32At(const std::vector<uint8_t> &B, size_t Pos) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(B[Pos + I]) << (8 * I);
+  return V;
+}
+
+/// End offsets of every complete frame in a journal image: the header
+/// (8 bytes) plus, per frame, 8 bytes of (length, crc) and the payload.
+std::vector<size_t> frameEnds(const std::vector<uint8_t> &Journal) {
+  std::vector<size_t> Ends;
+  size_t Pos = 8;
+  while (Pos + 8 <= Journal.size()) {
+    size_t End = Pos + 8 + readU32At(Journal, Pos);
+    if (End > Journal.size())
+      break;
+    Ends.push_back(End);
+    Pos = End;
+  }
+  return Ends;
+}
+
+class PerfJournal : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Path = testing::TempDir() + "gpuperf_journal_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".gpdb";
+    JPath = PerfDatabase::journalPath(Path);
+    std::remove(Path.c_str());
+    std::remove(JPath.c_str());
+  }
+  void TearDown() override {
+    setPerfCacheSaveByteLimitForTesting(0);
+    setDurableWriteCrashPointForTesting(0);
+    setPerfJournalCompactionThresholdForTesting(0);
+    std::remove(Path.c_str());
+    std::remove(JPath.c_str());
+  }
+
+  /// Measures the ratio-{2,4,8} kernels through a fresh database and
+  /// returns the journal image as captured while the database was live
+  /// (i.e. before any clean-shutdown compaction) plus the three values.
+  std::vector<uint8_t> buildJournal(std::vector<double> *Values = nullptr) {
+    const MachineDesc &M = gtx580();
+    PerfDatabase DB(M, Path);
+    for (int Ratio : {2, 4, 8}) {
+      double V = DB.measureKernel(smallKernel(M, Ratio), smallConfig());
+      if (Values)
+        Values->push_back(V);
+    }
+    return readFile(JPath);
+  }
+
+  std::string Path, JPath;
+};
+
+TEST_F(PerfJournal, AcknowledgedMeasurementIsDurableWithoutSave) {
+  // The whole point of the journal: the instant measureKernel returns,
+  // the record is on disk. A second database opening the same path --
+  // the moral equivalent of a new process after SIGKILL, since the
+  // first one never saved -- must serve it from the journal alone.
+  const MachineDesc &M = gtx580();
+  Kernel K = smallKernel(M, 4);
+  PerfDatabase Live(M, Path);
+  double V = Live.measureKernel(K, smallConfig());
+  EXPECT_EQ(fileSize(Path), 0u) << "no snapshot may exist yet";
+  EXPECT_GT(fileSize(JPath), 8u) << "the journal must hold the record";
+
+  PerfDatabase Crashed(M, Path);
+  EXPECT_EQ(Crashed.entryCount(), 1u);
+  EXPECT_EQ(Crashed.measureKernel(K, smallConfig()), V);
+  EXPECT_EQ(Crashed.misses(), 0u)
+      << "an acknowledged measurement must never be re-run after a crash";
+}
+
+TEST_F(PerfJournal, TornWriteAtEveryByteBoundary) {
+  // Crash-point harness over the append path: cut the journal at every
+  // possible byte length, as a kill mid-write would, and check recovery
+  // keeps exactly the fully-written frames -- never fewer (lost acks)
+  // and never garbage (half a frame "recovered").
+  const MachineDesc &M = gtx580();
+  std::vector<double> Values;
+  const std::vector<uint8_t> Full = buildJournal(&Values);
+  const std::vector<size_t> Ends = frameEnds(Full);
+  ASSERT_EQ(Ends.size(), 3u) << "expected one frame per measurement";
+
+  for (size_t Cut = 0; Cut <= Full.size(); ++Cut) {
+    std::remove(Path.c_str()); // Journal-only crash state.
+    writeFile(JPath,
+              std::vector<uint8_t>(Full.begin(), Full.begin() + Cut));
+    size_t WantFrames = 0, WantBytes = Cut < 8 ? 0 : 8;
+    for (size_t End : Ends)
+      if (End <= Cut) {
+        ++WantFrames;
+        WantBytes = End;
+      }
+
+    PerfDatabase DB(M, Path);
+    EXPECT_EQ(DB.entryCount(), WantFrames) << "cut at byte " << Cut;
+    // Recovery must also physically truncate the torn tail so later
+    // appends extend a clean prefix instead of burying valid frames
+    // behind garbage.
+    EXPECT_EQ(fileSize(JPath), WantBytes) << "cut at byte " << Cut;
+  }
+
+  // Full image: every acknowledged value is served without re-measuring.
+  std::remove(Path.c_str());
+  writeFile(JPath, Full);
+  PerfDatabase DB(M, Path);
+  EXPECT_EQ(DB.entryCount(), 3u);
+  int I = 0;
+  for (int Ratio : {2, 4, 8})
+    EXPECT_EQ(DB.measureKernel(smallKernel(M, Ratio), smallConfig()),
+              Values[I++]);
+  EXPECT_EQ(DB.misses(), 0u);
+}
+
+TEST_F(PerfJournal, BitFlipAtEveryByteOffset) {
+  // A flipped bit anywhere in a frame (length, CRC, or payload) must
+  // invalidate that frame and everything after it -- the CRC scan stops
+  // at the first corruption -- while every frame before it survives.
+  const MachineDesc &M = gtx580();
+  const std::vector<uint8_t> Full = buildJournal();
+  const std::vector<size_t> Ends = frameEnds(Full);
+  ASSERT_EQ(Ends.size(), 3u);
+
+  for (size_t Offset = 0; Offset < Full.size(); ++Offset) {
+    std::vector<uint8_t> Flipped = Full;
+    Flipped[Offset] ^= 0x10;
+    std::remove(Path.c_str());
+    writeFile(JPath, Flipped);
+    // Frames wholly before the flipped byte survive; the frame holding
+    // it (or the header, for offsets 0..7) and all later frames do not.
+    size_t WantFrames = 0;
+    for (size_t End : Ends)
+      WantFrames += Offset >= End ? 1 : 0;
+
+    PerfDatabase DB(M, Path);
+    EXPECT_EQ(DB.entryCount(), WantFrames) << "flip at byte " << Offset;
+  }
+}
+
+TEST_F(PerfJournal, CorruptHeaderRecoversToEmptyAndRestarts) {
+  writeFile(JPath, {'J', 'U', 'N', 'K', 1, 2, 3, 4, 5, 6});
+  const MachineDesc &M = gtx580();
+  Kernel K = smallKernel(M, 4);
+  double V;
+  std::vector<uint8_t> JournalImage;
+  {
+    PerfDatabase DB(M, Path);
+    EXPECT_EQ(DB.entryCount(), 0u) << "garbage journal recovers nothing";
+    EXPECT_EQ(fileSize(JPath), 0u)
+        << "an unusable journal is truncated, not left to block appends";
+    V = DB.measureKernel(K, smallConfig());
+    JournalImage = readFile(JPath);
+  }
+  // The append after recovery rebuilt a valid journal from scratch.
+  std::remove(Path.c_str());
+  writeFile(JPath, JournalImage);
+  PerfDatabase DB(M, Path);
+  EXPECT_EQ(DB.entryCount(), 1u);
+  EXPECT_EQ(DB.measureKernel(K, smallConfig()), V);
+  EXPECT_EQ(DB.misses(), 0u);
+}
+
+TEST_F(PerfJournal, CompactionFoldsJournalIntoSnapshot) {
+  // With a 1-byte threshold every append compacts: the snapshot absorbs
+  // each record immediately and the journal never accumulates.
+  setPerfJournalCompactionThresholdForTesting(1);
+  const MachineDesc &M = gtx580();
+  {
+    PerfDatabase DB(M, Path);
+    for (int Ratio : {2, 4, 8})
+      DB.measureKernel(smallKernel(M, Ratio), smallConfig());
+    EXPECT_EQ(fileSize(JPath), 0u)
+        << "past-threshold appends must compact and empty the journal";
+    EXPECT_GT(fileSize(Path), 12u) << "the snapshot holds the records";
+  }
+  setPerfJournalCompactionThresholdForTesting(0);
+  PerfDatabase DB(M, Path);
+  EXPECT_EQ(DB.entryCount(), 3u);
+}
+
+TEST_F(PerfJournal, KillDuringCompactionLosesNothing) {
+  // The snapshot-or-journal invariant, probed at both crash points of
+  // the durable snapshot write: (1) after the temp file is written but
+  // before the rename -- the old snapshot still stands; (2) after the
+  // rename but before the directory sync -- the new snapshot stands but
+  // the writer believes the save failed. In both cases the journal must
+  // be left untruncated, so every acknowledged record remains
+  // recoverable (replaying the journal over either snapshot version is
+  // idempotent).
+  const MachineDesc &M = gtx580();
+  std::vector<double> Values;
+  {
+    // Seed a real snapshot with one entry so crash point 1 has an "old"
+    // snapshot to preserve.
+    PerfDatabase DB(M, Path);
+    Values.push_back(DB.measureKernel(smallKernel(M, 2), smallConfig()));
+  }
+
+  for (int CrashPoint : {1, 2}) {
+    SCOPED_TRACE("crash point " + std::to_string(CrashPoint));
+    std::vector<uint8_t> SnapImage, JournalImage;
+    {
+      PerfDatabase DB(M, Path);
+      // The next append exceeds the 1-byte threshold and triggers
+      // compaction, whose snapshot write dies at the injected point.
+      setPerfJournalCompactionThresholdForTesting(1);
+      setDurableWriteCrashPointForTesting(CrashPoint);
+      Values.push_back(
+          DB.measureKernel(smallKernel(M, 10 + CrashPoint), smallConfig()));
+      setDurableWriteCrashPointForTesting(0);
+      setPerfJournalCompactionThresholdForTesting(0);
+      EXPECT_GT(fileSize(JPath), 8u)
+          << "a failed compaction must not truncate the journal";
+      // Capture the crash-moment disk state before the live object's
+      // clean shutdown tidies it up.
+      SnapImage = readFile(Path);
+      JournalImage = readFile(JPath);
+    }
+    writeFile(Path, SnapImage);
+    writeFile(JPath, JournalImage);
+
+    // Recovery: every value acknowledged so far is present, none is
+    // re-measured.
+    PerfDatabase DB(M, Path);
+    EXPECT_EQ(DB.entryCount(), Values.size());
+    EXPECT_EQ(DB.measureKernel(smallKernel(M, 2), smallConfig()),
+              Values[0]);
+    EXPECT_EQ(
+        DB.measureKernel(smallKernel(M, 10 + CrashPoint), smallConfig()),
+        Values.back());
+    EXPECT_EQ(DB.misses(), 0u);
+  }
+}
+
+TEST_F(PerfJournal, FailedSnapshotWriteLeavesSnapshotBitIdentical) {
+  // Disk-full (byte-limited) snapshot writes leave the previous
+  // snapshot bytes untouched and remove their temporary, at every
+  // possible torn-write length.
+  const MachineDesc &M = gtx580();
+  {
+    PerfDatabase DB(M, Path);
+    DB.measureKernel(smallKernel(M, 2), smallConfig());
+  } // Clean shutdown: snapshot written, journal empty.
+  const std::vector<uint8_t> Before = readFile(Path);
+  ASSERT_GE(Before.size(), 12u);
+
+  for (size_t Limit = 1; Limit < Before.size(); ++Limit) {
+    setPerfCacheSaveByteLimitForTesting(Limit);
+    PerfDatabase DB(M, Path);
+    EXPECT_TRUE(DB.save(Path).failed()) << "limit " << Limit;
+    EXPECT_EQ(readFile(Path), Before)
+        << "limit " << Limit << ": failed save must not touch the snapshot";
+    setPerfCacheSaveByteLimitForTesting(0);
+  }
+  std::ifstream Tmp(Path + ".tmp." + std::to_string(getpid()));
+  EXPECT_FALSE(Tmp.good()) << "failed saves must remove their temporaries";
+}
+
+} // namespace

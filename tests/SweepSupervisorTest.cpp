@@ -1,0 +1,319 @@
+//===- tests/SweepSupervisorTest.cpp - supervised, resumable sweeps -------===//
+//
+// Part of the gpuperf project: reproduction of Lai & Seznec, CGO 2013.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sweep engine's supervision and resume contract: transient
+/// failures retry with exponential backoff, timeouts retry with a
+/// doubled deadline, deterministic failures quarantine immediately, a
+/// hostile point degrades the sweep to an explicit incomplete list
+/// instead of aborting it, and --resume serves checkpointed points
+/// without ever re-running them -- with the combined output (rows and
+/// digest) bit-identical to an uninterrupted run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ubench/SweepRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+using namespace gpuperf;
+
+namespace {
+
+/// Rows a healthy point I produces (deterministic, index-dependent).
+std::vector<std::string> rowsFor(size_t I) {
+  return {"point " + std::to_string(I), std::to_string(I * I)};
+}
+
+class SweepSupervisor : public ::testing::Test {
+protected:
+  void SetUp() override {
+    CkptPath =
+        testing::TempDir() + "gpuperf_sweep_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".ckpt";
+    std::remove(CkptPath.c_str());
+    // Retries must not actually sleep in unit tests. The hook can fire
+    // from sweep worker threads, so the log is mutex-guarded.
+    Supervisor::setSleepFnForTesting([this](int Ms) {
+      std::lock_guard<std::mutex> Lock(SleepMutex);
+      Sleeps.push_back(Ms);
+    });
+  }
+  void TearDown() override {
+    Supervisor::setSleepFnForTesting(nullptr);
+    std::remove(CkptPath.c_str());
+  }
+
+  SweepOptions serialOptions(int MaxAttempts = 1) {
+    SweepOptions O;
+    O.Jobs = 1;
+    O.Policy.MaxAttempts = MaxAttempts;
+    return O;
+  }
+
+  std::string CkptPath;
+  std::mutex SleepMutex;
+  std::vector<int> Sleeps;
+};
+
+TEST_F(SweepSupervisor, HealthySweepMatchesUnsupervisedOutput) {
+  // The identity requirement: with every point healthy, the supervised
+  // engine's rows are exactly what a plain runSweep produces, for any
+  // job count.
+  for (int Jobs : {1, 4}) {
+    SweepOptions O = serialOptions(3);
+    O.Jobs = Jobs;
+    SweepResult R = runSupervisedSweep(
+        O, "healthy", 8,
+        [](size_t I, const Supervisor::Attempt &) {
+          return SweepPointAttempt::ok(rowsFor(I));
+        });
+    ASSERT_TRUE(R.Report.complete());
+    EXPECT_EQ(R.Report.Completed, 8u);
+    EXPECT_EQ(R.Report.Resumed, 0u);
+    for (size_t I = 0; I < 8; ++I) {
+      ASSERT_TRUE(R.Rows[I].has_value());
+      EXPECT_EQ(*R.Rows[I], rowsFor(I)) << "point " << I;
+    }
+  }
+}
+
+TEST_F(SweepSupervisor, TransientFailuresRetryUntilSuccess) {
+  std::atomic<int> Attempts{0};
+  SweepResult R = runSupervisedSweep(
+      serialOptions(3), "transient", 1,
+      [&](size_t I, const Supervisor::Attempt &A) {
+        ++Attempts;
+        if (A.Index < 2)
+          return SweepPointAttempt::transient("simulated contention");
+        return SweepPointAttempt::ok(rowsFor(I));
+      });
+  EXPECT_TRUE(R.Report.complete());
+  EXPECT_EQ(Attempts.load(), 3);
+  ASSERT_TRUE(R.Rows[0].has_value());
+  EXPECT_EQ(*R.Rows[0], rowsFor(0));
+  EXPECT_EQ(Sleeps.size(), 2u) << "each retry backs off once";
+}
+
+TEST_F(SweepSupervisor, ExhaustedRetriesReportFailedPoint) {
+  SweepResult R = runSupervisedSweep(
+      serialOptions(3), "exhausted", 3,
+      [&](size_t I, const Supervisor::Attempt &) {
+        if (I == 1)
+          return SweepPointAttempt::transient("always failing");
+        return SweepPointAttempt::ok(rowsFor(I));
+      });
+  // The sweep completes minus an explicit incomplete list -- it never
+  // aborts, and healthy points are unaffected.
+  EXPECT_FALSE(R.Report.complete());
+  EXPECT_EQ(R.Report.Completed, 2u);
+  ASSERT_EQ(R.Report.Incomplete.size(), 1u);
+  EXPECT_EQ(R.Report.Incomplete[0].Point, 1u);
+  EXPECT_EQ(R.Report.Incomplete[0].Result, TaskOutcome::State::Failed);
+  EXPECT_EQ(R.Report.Incomplete[0].Attempts, 3);
+  EXPECT_EQ(R.Report.Incomplete[0].Reason, "always failing");
+  EXPECT_FALSE(R.Rows[1].has_value());
+  EXPECT_TRUE(R.Rows[0].has_value());
+  EXPECT_TRUE(R.Rows[2].has_value());
+}
+
+TEST_F(SweepSupervisor, FatalFailuresQuarantineWithoutRetry) {
+  std::atomic<int> Attempts{0};
+  SweepResult R = runSupervisedSweep(
+      serialOptions(5), "fatal", 1,
+      [&](size_t, const Supervisor::Attempt &) {
+        ++Attempts;
+        return SweepPointAttempt::fatal("deterministic trap");
+      });
+  ASSERT_EQ(R.Report.Incomplete.size(), 1u);
+  EXPECT_EQ(R.Report.Incomplete[0].Result, TaskOutcome::State::Quarantined);
+  EXPECT_EQ(Attempts.load(), 1)
+      << "a deterministic failure must never be retried";
+  EXPECT_TRUE(Sleeps.empty());
+}
+
+TEST_F(SweepSupervisor, TimeoutsEscalateTheDeadline) {
+  std::vector<uint64_t> Deadlines;
+  SweepOptions O = serialOptions(3);
+  O.Policy.DeadlineCycles = 100;
+  SweepResult R = runSupervisedSweep(
+      O, "deadline", 1,
+      [&](size_t I, const Supervisor::Attempt &A) {
+        Deadlines.push_back(A.DeadlineCycles);
+        if (A.Index < 2)
+          return SweepPointAttempt::timeout("watchdog fired");
+        return SweepPointAttempt::ok(rowsFor(I));
+      });
+  EXPECT_TRUE(R.Report.complete());
+  // The per-launch watchdog escalation: each retry of a timed-out point
+  // doubles the cycle budget.
+  EXPECT_EQ(Deadlines, (std::vector<uint64_t>{100, 200, 400}));
+}
+
+TEST_F(SweepSupervisor, BackoffScheduleIsExponentialAndCapped) {
+  EXPECT_EQ(Supervisor::backoffMs({4, 3, 1000, 0}, 1), 3);
+  EXPECT_EQ(Supervisor::backoffMs({4, 3, 1000, 0}, 2), 6);
+  EXPECT_EQ(Supervisor::backoffMs({4, 3, 1000, 0}, 3), 12);
+  EXPECT_EQ(Supervisor::backoffMs({8, 3, 20, 0}, 5), 20) << "capped";
+  EXPECT_EQ(Supervisor::backoffMs({4, 0, 1000, 0}, 3), 0)
+      << "base 0 disables sleeping";
+
+  std::atomic<int> Attempts{0};
+  SweepOptions O = serialOptions(4);
+  O.Policy.BackoffBaseMs = 7;
+  O.Policy.BackoffCapMs = 1000;
+  runSupervisedSweep(O, "backoff", 1,
+                     [&](size_t, const Supervisor::Attempt &) {
+                       ++Attempts;
+                       return SweepPointAttempt::transient("again");
+                     });
+  EXPECT_EQ(Attempts.load(), 4);
+  EXPECT_EQ(Sleeps, (std::vector<int>{7, 14, 28}));
+}
+
+TEST_F(SweepSupervisor, CheckpointPreventsDoubleRuns) {
+  std::atomic<int> Runs{0};
+  auto Point = [&](size_t I, const Supervisor::Attempt &) {
+    ++Runs;
+    return SweepPointAttempt::ok(rowsFor(I));
+  };
+  uint64_t FirstHash;
+  {
+    SweepCheckpoint Ckpt(CkptPath, /*Resume=*/false);
+    SweepOptions O = serialOptions();
+    O.Checkpoint = &Ckpt;
+    SweepResult R = runSupervisedSweep(O, "sweep", 5, Point);
+    EXPECT_EQ(R.Report.Completed, 5u);
+    EXPECT_EQ(Runs.load(), 5);
+    FirstHash = R.Report.RowsHash;
+  }
+  // Resume with every point recorded: zero invocations, same rows, and
+  // the digest matches the uninterrupted run exactly.
+  SweepCheckpoint Ckpt(CkptPath, /*Resume=*/true);
+  EXPECT_EQ(Ckpt.recordCount(), 5u);
+  SweepOptions O = serialOptions();
+  O.Checkpoint = &Ckpt;
+  SweepResult R = runSupervisedSweep(O, "sweep", 5, Point);
+  EXPECT_EQ(Runs.load(), 5) << "no completed point may ever re-run";
+  EXPECT_EQ(R.Report.Completed, 5u);
+  EXPECT_EQ(R.Report.Resumed, 5u);
+  EXPECT_EQ(R.Report.RowsHash, FirstHash);
+  for (size_t I = 0; I < 5; ++I) {
+    ASSERT_TRUE(R.Rows[I].has_value());
+    EXPECT_EQ(*R.Rows[I], rowsFor(I));
+  }
+}
+
+TEST_F(SweepSupervisor, ResumeRunsOnlyTheMissingPoints) {
+  // First run: point 2 is hostile (quarantined), the rest complete and
+  // are checkpointed.
+  {
+    SweepCheckpoint Ckpt(CkptPath, false);
+    SweepOptions O = serialOptions();
+    O.Checkpoint = &Ckpt;
+    SweepResult R = runSupervisedSweep(
+        O, "sweep", 5,
+        [](size_t I, const Supervisor::Attempt &) {
+          if (I == 2)
+            return SweepPointAttempt::fatal("hostile point");
+          return SweepPointAttempt::ok(rowsFor(I));
+        });
+    EXPECT_EQ(R.Report.Completed, 4u);
+    ASSERT_EQ(R.Report.Incomplete.size(), 1u);
+  }
+  // Resumed run with the point healthy again: exactly one invocation,
+  // and the combined result equals a full uninterrupted run's.
+  std::atomic<int> Runs{0};
+  SweepCheckpoint Ckpt(CkptPath, true);
+  EXPECT_EQ(Ckpt.recordCount(), 4u);
+  SweepOptions O = serialOptions();
+  O.Checkpoint = &Ckpt;
+  SweepResult R = runSupervisedSweep(
+      O, "sweep", 5,
+      [&](size_t I, const Supervisor::Attempt &) {
+        ++Runs;
+        return SweepPointAttempt::ok(rowsFor(I));
+      });
+  EXPECT_EQ(Runs.load(), 1) << "only the missing point may run";
+  EXPECT_EQ(R.Report.Completed, 5u);
+  EXPECT_EQ(R.Report.Resumed, 4u);
+
+  SweepResult Uninterrupted = runSupervisedSweep(
+      serialOptions(), "sweep", 5,
+      [](size_t I, const Supervisor::Attempt &) {
+        return SweepPointAttempt::ok(rowsFor(I));
+      });
+  EXPECT_EQ(R.Report.RowsHash, Uninterrupted.Report.RowsHash)
+      << "kill+resume must digest identically to an uninterrupted run";
+  for (size_t I = 0; I < 5; ++I)
+    EXPECT_EQ(*R.Rows[I], *Uninterrupted.Rows[I]);
+}
+
+TEST_F(SweepSupervisor, FreshRunTruncatesAnOldCheckpoint) {
+  {
+    SweepCheckpoint Ckpt(CkptPath, false);
+    ASSERT_FALSE(Ckpt.markDone("sweep", 0, rowsFor(0)).failed());
+  }
+  // Without --resume the file is emptied: a fresh run re-runs all.
+  SweepCheckpoint Fresh(CkptPath, false);
+  EXPECT_EQ(Fresh.recordCount(), 0u);
+  EXPECT_EQ(Fresh.lookup("sweep", 0), nullptr);
+}
+
+TEST_F(SweepSupervisor, CheckpointRecoversFromTornTail) {
+  {
+    SweepCheckpoint Ckpt(CkptPath, false);
+    ASSERT_FALSE(Ckpt.markDone("sweep", 0, rowsFor(0)).failed());
+    ASSERT_FALSE(Ckpt.markDone("sweep", 3, rowsFor(3)).failed());
+  }
+  // A kill mid-append leaves half a frame; resume must keep both intact
+  // records and drop the tail.
+  {
+    std::ofstream Out(CkptPath, std::ios::binary | std::ios::app);
+    const char Torn[] = {0x40, 0, 0, 0, 0x12, 0x34};
+    Out.write(Torn, sizeof(Torn));
+  }
+  SweepCheckpoint Ckpt(CkptPath, true);
+  EXPECT_EQ(Ckpt.recordCount(), 2u);
+  ASSERT_NE(Ckpt.lookup("sweep", 0), nullptr);
+  EXPECT_EQ(*Ckpt.lookup("sweep", 0), rowsFor(0));
+  ASSERT_NE(Ckpt.lookup("sweep", 3), nullptr);
+  EXPECT_EQ(*Ckpt.lookup("sweep", 3), rowsFor(3));
+  EXPECT_EQ(Ckpt.lookup("sweep", 1), nullptr);
+  // And appends after recovery extend the cleaned file.
+  ASSERT_FALSE(Ckpt.markDone("sweep", 1, rowsFor(1)).failed());
+  SweepCheckpoint Again(CkptPath, true);
+  EXPECT_EQ(Again.recordCount(), 3u);
+}
+
+TEST_F(SweepSupervisor, CheckpointKeysBySweepName) {
+  SweepCheckpoint Ckpt(CkptPath, false);
+  ASSERT_FALSE(Ckpt.markDone("alpha", 0, rowsFor(0)).failed());
+  EXPECT_NE(Ckpt.lookup("alpha", 0), nullptr);
+  EXPECT_EQ(Ckpt.lookup("beta", 0), nullptr)
+      << "two sweeps sharing a checkpoint must not cross-serve points";
+}
+
+TEST_F(SweepSupervisor, RowsHashIgnoresExecutionOrder) {
+  // The digest is computed in index order from per-index slots, so jobs
+  // and scheduling cannot perturb it.
+  auto Point = [](size_t I, const Supervisor::Attempt &) {
+    return SweepPointAttempt::ok(rowsFor(I));
+  };
+  SweepOptions Serial = serialOptions();
+  SweepOptions Wide = serialOptions();
+  Wide.Jobs = 8;
+  EXPECT_EQ(runSupervisedSweep(Serial, "s", 16, Point).Report.RowsHash,
+            runSupervisedSweep(Wide, "s", 16, Point).Report.RowsHash);
+}
+
+} // namespace

@@ -43,7 +43,9 @@ fi
 # -- the serial suites cannot race and TSan slows them ~10x. The
 # scheduler suite is threaded through its Jobs=2 padded-verify case, so
 # it rides along; the profile suite exercises the per-SM profile merge
-# under the parallel launcher.
+# under the parallel launcher; the journal and sweep-supervisor suites
+# cover the journaled PerfDatabase and the retrying sweep engine, whose
+# checkpoint appends and sleep hooks run on pool worker threads.
 TSAN_BUILD="$BUILD-tsan"
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -52,4 +54,4 @@ cmake --build "$TSAN_BUILD" -j"$(nproc)"
 
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R '(support|parallel_sim|perf_cache|stats|scheduler|profile)_test|trace_smoke' "$@"
+    -R '(support|parallel_sim|perf_cache|perf_journal|sweep_supervisor|stats|scheduler|profile)_test|trace_smoke' "$@"

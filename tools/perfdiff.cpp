@@ -55,6 +55,12 @@ static int usage() {
       "                            (e.g. cycles=0.02 allows 2%%); the\n"
       "                            name '*' sets the default for every\n"
       "                            metric (otherwise 0: exact match)\n"
+      "  --ignore NAME             skip the object key NAME entirely\n"
+      "                            (repeatable); for fields that\n"
+      "                            legitimately differ between the runs\n"
+      "                            under comparison, e.g. sim_cycles\n"
+      "                            when diffing a resumed sweep against\n"
+      "                            an uninterrupted one\n"
       "\n"
       "Records with different schema_version or machine fields are\n"
       "refused, not diffed. The keys wall_seconds, sim_cycles_per_sec\n"
@@ -68,6 +74,7 @@ namespace {
 
 struct DiffOptions {
   std::map<std::string, double> Tolerance;
+  std::set<std::string> Ignored; ///< Extra keys from --ignore.
 
   double toleranceFor(const std::string &Leaf) const {
     if (auto It = Tolerance.find(Leaf); It != Tolerance.end())
@@ -76,13 +83,14 @@ struct DiffOptions {
       return It->second;
     return 0.0;
   }
-};
 
-/// Host-dependent keys that legitimately differ between runs.
-bool ignoredKey(const std::string &Key) {
-  return Key == "wall_seconds" || Key == "sim_cycles_per_sec" ||
-         Key == "jobs";
-}
+  /// Host-dependent keys that legitimately differ between runs, plus
+  /// whatever the caller asked to skip.
+  bool ignoredKey(const std::string &Key) const {
+    return Key == "wall_seconds" || Key == "sim_cycles_per_sec" ||
+           Key == "jobs" || Ignored.count(Key) != 0;
+  }
+};
 
 const char *kindName(JsonValue::Kind K) {
   switch (K) {
@@ -158,7 +166,7 @@ void diffValue(const JsonValue &B, const JsonValue &C,
   }
   case JsonValue::Kind::Object: {
     for (const auto &[Key, BV] : B.Members) {
-      if (ignoredKey(Key))
+      if (O.ignoredKey(Key))
         continue;
       std::string Sub = Path.empty() ? Key : Path + "." + Key;
       const JsonValue *CV = C.find(Key);
@@ -171,7 +179,7 @@ void diffValue(const JsonValue &B, const JsonValue &C,
     }
     for (const auto &[Key, CV] : C.Members) {
       (void)CV;
-      if (!ignoredKey(Key) && !B.find(Key))
+      if (!O.ignoredKey(Key) && !B.find(Key))
         Out.push_back(formatString(
             "%s%s%s: not present in baseline", Path.c_str(),
             Path.empty() ? "" : ".", Key.c_str()));
@@ -289,6 +297,13 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.Tolerance[Spec.substr(0, Eq)] = *Frac;
+    } else if (std::strcmp(Argv[I], "--ignore") == 0 && I + 1 < Argc) {
+      std::string Name = Argv[++I];
+      if (Name.empty()) {
+        std::fprintf(stderr, "perfdiff: --ignore: empty key name\n");
+        return 2;
+      }
+      Opts.Ignored.insert(Name);
     } else if (std::strcmp(Argv[I], "--baselines") == 0 && I + 1 < Argc) {
       BaselineDir = Argv[++I];
     } else if (std::strcmp(Argv[I], "--current") == 0 && I + 1 < Argc) {
