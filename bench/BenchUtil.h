@@ -18,6 +18,8 @@
 
 #include "analysis/HotspotReport.h"
 #include "kernelgen/Scheduler.h"
+#include "probe/ProbeEngine.h"
+#include "probe/ProbeSpec.h"
 #include "sim/SMSimulator.h"
 #include "support/Args.h"
 #include "support/Format.h"
@@ -80,6 +82,11 @@ inline void benchPrint(const std::string &Text) {
 ///   --resume     with --checkpoint: serve points already in PATH from
 ///                the journal instead of re-running them (without
 ///                --resume the checkpoint is restarted from scratch)
+///   --probe FILE attach the probe specs in FILE to every kernel launch
+///                the bench simulates and add a versioned "probes"
+///                object to the --json record; implies --no-cache,
+///                because a warm cache hit skips simulation and would
+///                silently undercount every probe
 class BenchRun {
 public:
   BenchRun(std::string BenchName, int Argc, char **Argv)
@@ -141,13 +148,15 @@ public:
         CheckpointPath = needValue();
       else if (Arg == "--resume")
         Resume = true;
+      else if (Arg == "--probe")
+        ProbePath = needValue();
       else {
         std::fprintf(stderr,
                      "%s: unknown option '%s'\n"
                      "usage: %s [--jobs N] [--json PATH] [--cache PATH] "
                      "[--no-cache] [--schedule drip|list] [--retries N] "
                      "[--point-timeout CYCLES] [--checkpoint PATH] "
-                     "[--resume]\n",
+                     "[--resume] [--probe FILE]\n",
                      Name.c_str(), Arg.c_str(), Name.c_str());
         std::exit(2);
       }
@@ -157,12 +166,45 @@ public:
                    Name.c_str());
       std::exit(2);
     }
+    if (!ProbePath.empty()) {
+      auto Specs = loadProbeSpecFile(ProbePath);
+      if (!Specs) {
+        std::fprintf(stderr, "%s: --probe: %s\n", Name.c_str(),
+                     Specs.message().c_str());
+        std::exit(2);
+      }
+      Probes = ProbeEngine(Specs.take());
+      // A warm cache hit returns a stored result without simulating, so
+      // probes attached to this process would silently miss that
+      // launch. Force remeasurement for the whole run instead.
+      if (!CachePath.empty()) {
+        std::fprintf(stderr,
+                     "%s: --probe disables the perf cache (cached hits "
+                     "skip simulation and would undercount probes)\n",
+                     Name.c_str());
+        CachePath.clear();
+      }
+      // Installed process-wide: every launchKernel in this process that
+      // was not handed an explicit sink clones this engine, simulates,
+      // and merges back under a lock (SM-index order within a launch
+      // keeps per-launch results deterministic; cross-launch merge
+      // order does not matter because every aggregation is commutative
+      // and associative).
+      setProcessProbeEngine(&Probes);
+    }
     if (!CheckpointPath.empty())
       Checkpoint =
           std::make_unique<SweepCheckpoint>(CheckpointPath, Resume);
   }
 
   ~BenchRun() {
+    // Uninstall before anything else so no launch can race the engine
+    // while (or after) we read it out below.
+    if (!ProbePath.empty()) {
+      setProcessProbeEngine(nullptr);
+      std::printf("\nprobe results (%s)\n%s", ProbePath.c_str(),
+                  Probes.report().c_str());
+    }
     if (JsonPath.empty())
       return;
     double Wall = std::chrono::duration<double>(
@@ -200,6 +242,14 @@ public:
       W.kv(slotUseName(static_cast<SlotUse>(I)),
            End.Slots[I] - StartBreakdown.Slots[I]);
     W.endObject();
+    // Probe totals over the same scope as issue_slots: everything this
+    // process simulated while the engine was installed. Only present
+    // when --probe was given, so plain records keep the exact shape the
+    // committed perfdiff baselines pin.
+    if (!ProbePath.empty()) {
+      W.key("probes");
+      Probes.writeProbesValue(W);
+    }
     // Sweep summaries ride along only when checkpointing was requested,
     // and failed points only when there were any, so records from plain
     // runs keep the exact shape the committed perfdiff baselines pin.
@@ -316,6 +366,8 @@ private:
   std::string JsonPath;
   std::string CachePath;
   std::string CheckpointPath;
+  std::string ProbePath;
+  ProbeEngine Probes;
   int Jobs = 0; ///< 0 = one worker per hardware thread.
   int Retries = 0;
   uint64_t PointTimeout = 0;

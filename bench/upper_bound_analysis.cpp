@@ -80,11 +80,28 @@ static void analyzeMachine(const BenchRun &Run, const MachineDesc &M,
   SgemmRunOptions O;
   O.Mode = SimMode::ProjectOneWave;
   double Bound = Chosen.PotentialGflops;
+  // Traffic for the roofline table below, measured by an embedded probe
+  // spec on the --schedule-selected run instead of bespoke counters --
+  // the stock probes/ directory phrases the same measurements for
+  // gpurun --probe.
+  static const char UboundProbeText[] =
+      "probe ub_gmem_bytes { event mem_access; aggregation sum; "
+      "value bytes; filter space == global }\n"
+      "probe ub_smem_bytes { event mem_access; aggregation sum; "
+      "value bytes; filter space == shared }\n"
+      "probe ub_ffma { event inst_issued; aggregation sum; "
+      "value lanes; filter opcode == FFMA }\n";
+  ProbeEngine Probes;
+  if (auto UboundSpecs = parseProbeSpecs(UboundProbeText, "<ubound>"))
+    Probes = ProbeEngine(UboundSpecs.take());
   auto achieved = [&](SgemmSchedule S) {
     SgemmKernelConfig Cfg = baselineConfig(SgemmImpl::AsmTuned, M,
                                            GemmVariant::NN, P.M, P.N, P.K);
     Cfg.Schedule = S;
-    return runSgemmConfig(M, Cfg, P, O);
+    SgemmRunOptions OS = O;
+    if (S == Run.schedule())
+      OS.Probes = &Probes; // the headline run feeds the roofline table
+    return runSgemmConfig(M, Cfg, P, OS);
   };
   auto RD = achieved(SgemmSchedule::Drip);
   auto RL = achieved(SgemmSchedule::List);
@@ -107,6 +124,47 @@ static void analyzeMachine(const BenchRun &Run, const MachineDesc &M,
     // the slots the bound says are available.
     benchPrint("\n");
     benchIssueSlotReport(M, R->Launch.Stats);
+
+    // Roofline view of the same run: bytes moved per FFMA (over the one
+    // simulated wave -- ratios are wave-invariant) against what DRAM
+    // can feed at peak FFMA rate. Measured below the machine line means
+    // the kernel sits on the compute roof, the paper's premise that
+    // tuned SGEMM is issue-limited rather than bandwidth-limited.
+    const ProbeState *GB = Probes.stateByName("ub_gmem_bytes");
+    const ProbeState *SB = Probes.stateByName("ub_smem_bytes");
+    const ProbeState *FF = Probes.stateByName("ub_ffma");
+    if (GB && SB && FF && FF->Total.Seen && FF->Total.Value > 0) {
+      double Ffmas = static_cast<double>(FF->Total.Value);
+      benchPrint(formatString(
+          "\nroofline (probe-measured, %s-scheduled wave)\n",
+          sgemmScheduleName(Run.schedule())));
+      Table RT;
+      RT.setHeader({"traffic", "bytes", "bytes/FFMA"});
+      RT.addRow({"global",
+                 formatString("%lld", static_cast<long long>(
+                                          GB->Total.Value)),
+                 formatDouble(GB->Total.Value / Ffmas, 3)});
+      RT.addRow({"shared",
+                 formatString("%lld", static_cast<long long>(
+                                          SB->Total.Value)),
+                 formatDouble(SB->Total.Value / Ffmas, 3)});
+      RT.addRow({"FFMA thread ops",
+                 formatString("%lld", static_cast<long long>(
+                                          FF->Total.Value)),
+                 "-"});
+      benchPrint(RT.render());
+      double MachineBpF =
+          M.theoreticalPeakGflops() > 0
+              ? 2.0 * M.GlobalMemBandwidthGBs / M.theoreticalPeakGflops()
+              : 0.0;
+      double GmemBpF = GB->Total.Value / Ffmas;
+      benchPrint(formatString(
+          "DRAM sustains %.3f bytes/FFMA at peak (%.0f GB/s / %.0f "
+          "GFLOPS x 2 flops); measured %.3f -> %s-bound\n",
+          MachineBpF, M.GlobalMemBandwidthGBs,
+          M.theoreticalPeakGflops(), GmemBpF,
+          GmemBpF <= MachineBpF ? "compute" : "memory"));
+    }
   }
   if (RD.hasValue() && RL.hasValue()) {
     // The scheduled-vs-drip gap against the same bound, with the stall

@@ -118,6 +118,7 @@ gpuperf::runSgemmConfig(const MachineDesc &M, SgemmKernelConfig Cfg,
   Launch.Mode = Options.Mode;
   Launch.WatchdogCycles = Options.WatchdogCycles;
   Launch.Jobs = Options.Jobs;
+  Launch.Probes = Options.Probes;
 
   auto LR = launchKernel(M, K, Launch, GM);
   if (!LR)

@@ -57,6 +57,10 @@ struct SgemmRunOptions {
   /// Threads simulating SMs concurrently in Full mode (see
   /// LaunchConfig::Jobs); results are bit-identical for every value.
   int Jobs = 1;
+  /// Optional probe sink forwarded to LaunchConfig::Probes: fired
+  /// events from the run are aggregated into this engine (per-SM state
+  /// merged in SM index order, so results are Jobs-invariant).
+  ProbeEngine *Probes = nullptr;
 };
 
 /// Runs \p Problem with implementation \p Impl on machine \p M.

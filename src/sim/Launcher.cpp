@@ -23,6 +23,7 @@ struct SMOutcome {
   std::vector<TraceEvent> TraceEvents;
   uint64_t TraceDropped = 0;
   KernelProfile Profile;
+  ProbeEngine Probes;
   int Waves = 0;
   bool Failed = false;
   std::string Error;
@@ -39,8 +40,11 @@ struct SMOutcome {
 void runSMWaves(const MachineDesc &M, const Kernel &K, Executor &Exec,
                 const LaunchDims &Dims, const std::vector<int> &Mine,
                 int ActiveBlocks, uint64_t Watchdog, size_t TraceRing,
-                bool ProfileOn, SMOutcome &Out) {
+                bool ProfileOn, const ProbeEngine *ProbeProto,
+                SMOutcome &Out) {
   TraceRecorder Rec(TraceRing ? TraceRing : 1);
+  if (ProbeProto)
+    Out.Probes = ProbeProto->emptyClone();
   for (size_t First = 0; First < Mine.size();
        First += static_cast<size_t>(ActiveBlocks)) {
     size_t Last =
@@ -50,9 +54,12 @@ void runSMWaves(const MachineDesc &M, const Kernel &K, Executor &Exec,
       Rec.beginWave(WaveBlocks.size() *
                         static_cast<size_t>(Dims.warpsPerBlock()),
                     std::max(1, M.WarpSchedulersPerSM), Out.Stats.Cycles);
+    if (ProbeProto)
+      Out.Probes.beginWave(Out.Stats.Cycles);
     auto Wave = simulateWave(M, K, Exec, Dims, WaveBlocks, Watchdog,
                              &Out.Trap, TraceRing ? &Rec : nullptr,
-                             ProfileOn ? &Out.Profile : nullptr);
+                             ProfileOn ? &Out.Profile : nullptr,
+                             ProbeProto ? &Out.Probes : nullptr);
     if (TraceRing)
       Rec.endWave();
     if (!Wave) {
@@ -92,6 +99,17 @@ void mergeProfile(KernelProfile *Profile, SMOutcome &Out) {
   if (!Profile || Out.Profile.empty())
     return;
   Profile->add(Out.Profile);
+}
+
+/// Folds one SM's probe partial into the launch sink. Called in SM index
+/// order under mergeTrace's failure rule; because every probe
+/// aggregation is commutative and associative, the result is the same
+/// for any merge order -- the order is kept anyway so probes follow the
+/// same determinism discipline as the trace and profile.
+void mergeProbes(ProbeEngine *Sink, SMOutcome &Out) {
+  if (!Sink || !Out.Probes.enabled())
+    return;
+  Sink->merge(Out.Probes);
 }
 
 } // namespace
@@ -168,6 +186,29 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
   if (ProfileOn && Config.Profile->codeSize() != K.Code.size())
     Config.Profile->reset(K.Code.size());
 
+  // Resolve the probe sink: an explicit LaunchConfig sink wins; otherwise
+  // a process-installed engine (BenchRun --probe) is served through a
+  // launch-local clone flushed back on every return path -- traps and
+  // early errors included -- so the process totals never miss a partial.
+  ProbeEngine LaunchLocalProbes;
+  struct ProbeFlusher {
+    ProbeEngine *Partial = nullptr;
+    ~ProbeFlusher() {
+      if (Partial)
+        mergeIntoProcessProbeEngine(*Partial);
+    }
+  } Flusher;
+  ProbeEngine *ProbeSink = Config.Probes;
+  if (!ProbeSink) {
+    if (ProbeEngine *Proc = processProbeEngine()) {
+      LaunchLocalProbes = Proc->emptyClone();
+      ProbeSink = &LaunchLocalProbes;
+      Flusher.Partial = &LaunchLocalProbes;
+    }
+  }
+  const ProbeEngine *ProbeProto =
+      ProbeSink && ProbeSink->enabled() ? ProbeSink : nullptr;
+
   if (Config.Mode == SimMode::ProjectOneWave) {
     // Simulate the first wave of SM 0 and extrapolate. SM 0 gets blocks
     // 0..N-1 of the wave; for SGEMM-style kernels with data-independent
@@ -177,9 +218,10 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
       BlockIds.push_back(B);
     SMOutcome Out;
     runSMWaves(M, K, Exec, Dims, BlockIds, Occ.ActiveBlocks, Watchdog,
-               TraceRing, ProfileOn, Out);
+               TraceRing, ProfileOn, ProbeProto, Out);
     mergeTrace(Config.Trace, 0, Out);
     mergeProfile(Config.Profile, Out);
+    mergeProbes(ProbeSink, Out);
     if (Out.Failed) {
       if (TrapOut && Out.Trap.valid())
         *TrapOut = Out.Trap;
@@ -217,12 +259,13 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
     for (size_t Idx = 0; Idx < PerSMBlocks.size(); ++Idx) {
       SMOutcome Out;
       runSMWaves(M, K, Exec, Dims, PerSMBlocks[Idx], Occ.ActiveBlocks,
-                 Watchdog, TraceRing, ProfileOn, Out);
-      // Merge the trace (and profile) before checking for failure: the
-      // serial path keeps whatever the trapping SM recorded up to the
-      // fault.
+                 Watchdog, TraceRing, ProfileOn, ProbeProto, Out);
+      // Merge the trace (and profile, and probes) before checking for
+      // failure: the serial path keeps whatever the trapping SM recorded
+      // up to the fault.
       mergeTrace(Config.Trace, static_cast<int>(Idx), Out);
       mergeProfile(Config.Profile, Out);
+      mergeProbes(ProbeSink, Out);
       if (Out.Failed) {
         if (TrapOut && Out.Trap.valid())
           *TrapOut = Out.Trap;
@@ -243,7 +286,7 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
       Executor SMExec(M, GlobalMemoryView(Global, Out.Overlay),
                       Config.Params, Dims);
       runSMWaves(M, K, SMExec, Dims, PerSMBlocks[Idx], Occ.ActiveBlocks,
-                 Watchdog, TraceRing, ProfileOn, Out);
+                 Watchdog, TraceRing, ProfileOn, ProbeProto, Out);
     });
     for (size_t Idx = 0; Idx < Outcomes.size(); ++Idx) {
       SMOutcome &Out = Outcomes[Idx];
@@ -256,6 +299,7 @@ Expected<LaunchResult> gpuperf::launchKernel(const MachineDesc &M,
       Out.Overlay.applyTo(Global);
       mergeTrace(Config.Trace, static_cast<int>(Idx), Out);
       mergeProfile(Config.Profile, Out);
+      mergeProbes(ProbeSink, Out);
       if (Out.Failed) {
         if (TrapOut && Out.Trap.valid())
           *TrapOut = Out.Trap;

@@ -71,6 +71,14 @@ struct LaunchConfig {
   /// value, and satisfies Profile->breakdown() == Result.Stats.Breakdown
   /// on success. Null (the default) is zero-overhead, like Trace.
   KernelProfile *Profile = nullptr;
+  /// When non-null, the launch evaluates *Probes' specs over its
+  /// simulation events (see probe/ProbeEngine.h). Each SM fires into a
+  /// private clone, merged in SM index order under mergeTrace's failure
+  /// rule, so probe results are bit-identical for every Jobs value. When
+  /// null, a process-wide engine installed via setProcessProbeEngine
+  /// (BenchRun --probe) is used instead -- partials merge into it when
+  /// the launch returns, on every path including traps.
+  ProbeEngine *Probes = nullptr;
 };
 
 /// Result of a (possibly projected) launch.

@@ -6,6 +6,7 @@
 
 #include "sim/SMSimulator.h"
 
+#include "probe/ProbeEngine.h"
 #include "sim/Timing.h"
 #include "support/Format.h"
 
@@ -58,8 +59,9 @@ public:
   SMSim(const MachineDesc &M, const Kernel &K, Executor &Exec,
         const LaunchDims &Dims, const std::vector<int> &BlockIds,
         uint64_t WatchdogCycles, TraceRecorder *Trace,
-        KernelProfile *Profile)
+        KernelProfile *Profile, ProbeEngine *Probes)
       : M(M), K(K), Exec(Exec), Dims(Dims), Trace(Trace), Profile(Profile),
+        Probes(Probes && Probes->enabled() ? Probes : nullptr),
         Budget(WatchdogCycles == 0
                    ? MaxWaveCycles
                    : std::min(WatchdogCycles, MaxWaveCycles)) {
@@ -108,6 +110,14 @@ public:
 
 private:
   Expected<SimStats> runLoop() {
+    // Every block of the wave becomes resident at the wave's cycle 0.
+    if (Probes && Probes->wants(ProbeEvent::BlockScheduled))
+      for (const BlockState &B : Blocks) {
+        ProbeEventRecord R;
+        R.Block = B.BlockIdLinear;
+        R.Cycle = 0;
+        Probes->fire(ProbeEvent::BlockScheduled, R);
+      }
     while (LiveWarps > 0) {
       if (Now >= Budget) {
         raiseWatchdogTrap();
@@ -162,6 +172,17 @@ private:
   /// blocked PC.
   void accountStall(int Sched, WarpBlock B, int PC, uint64_t Start,
                     uint64_t N) {
+    auto fireSlotLost = [&](SlotUse Cause, uint64_t Cycle,
+                            uint64_t Slots) {
+      if (!Probes || !Probes->wants(ProbeEvent::SlotLost))
+        return;
+      ProbeEventRecord R;
+      R.Cause = static_cast<int64_t>(Cause);
+      R.PC = PC;
+      R.Slots = static_cast<int64_t>(Slots);
+      R.Cycle = static_cast<int64_t>(Cycle);
+      Probes->fire(ProbeEvent::SlotLost, R);
+    };
     SlotUse Use = SlotUse::NoEligibleWarp;
     switch (B) {
     case WarpBlock::IssuePipe: {
@@ -175,6 +196,7 @@ private:
                        SlotUse::RegBankConflict);
         if (Profile)
           Profile->countStall(PC, SlotUse::RegBankConflict, FromConflict);
+        fireSlotLost(SlotUse::RegBankConflict, Start, FromConflict);
       }
       if (N > FromConflict) {
         Stats.Breakdown[SlotUse::DispatchLimit] += N - FromConflict;
@@ -184,6 +206,8 @@ private:
         if (Profile)
           Profile->countStall(PC, SlotUse::DispatchLimit,
                               N - FromConflict);
+        fireSlotLost(SlotUse::DispatchLimit, Start + FromConflict,
+                     N - FromConflict);
       }
       return;
     }
@@ -210,6 +234,7 @@ private:
       Trace->stall(Sched, Start, N, Use);
     if (Profile)
       Profile->countStall(PC, Use, N);
+    fireSlotLost(Use, Start, N);
   }
 
   /// Precomputes, per static instruction, whether every register and
@@ -422,6 +447,14 @@ private:
         ++Stats.ReplayPenalties;
         if (Profile)
           Profile->countReplay(W.PC);
+        if (Probes && Probes->wants(ProbeEvent::Replay)) {
+          ProbeEventRecord R;
+          R.PC = W.PC;
+          R.Block = Blocks[W.BlockSlot].BlockIdLinear;
+          R.Warp = W.WarpInBlock;
+          R.Cycle = static_cast<int64_t>(Now);
+          Probes->fire(ProbeEvent::Replay, R);
+        }
       }
       return false;
     }
@@ -464,8 +497,19 @@ private:
       double Serial =
           std::max(1.0, Fx.SharedSerialization /
                             implicitConflictAllowance(M, I));
-      if (Fx.SharedSerialization > implicitConflictAllowance(M, I))
+      if (Fx.SharedSerialization > implicitConflictAllowance(M, I)) {
         ++Stats.SharedConflictEvents;
+        if (Probes && Probes->wants(ProbeEvent::BankConflict)) {
+          ProbeEventRecord R;
+          R.PC = PCAtIssue;
+          R.Block = B.BlockIdLinear;
+          R.Warp = W.WarpInBlock;
+          R.Cycle = static_cast<int64_t>(Now);
+          R.Serialization =
+              static_cast<int64_t>(Fx.SharedSerialization);
+          Probes->fire(ProbeEvent::BankConflict, R);
+        }
+      }
       LdstPipeFree = std::max(LdstPipeFree, NowD) + Ldst * Serial;
     }
 
@@ -489,10 +533,13 @@ private:
 
     // --- Control effects --------------------------------------------------------
     ControlField F = fieldAt(W.PC);
+    bool WarpExited = false, BlockDrained = false;
     if (Fx.IsExit) {
       W.Done = true;
       --LiveWarps;
       --B.LiveWarps;
+      WarpExited = true;
+      BlockDrained = B.LiveWarps == 0;
       releaseBarrierIfComplete(B);
     } else if (Fx.IsBarrier) {
       W.AtBarrier = true;
@@ -533,6 +580,57 @@ private:
                    PCAtIssue, I.Op);
     if (Profile)
       Profile->countIssue(PCAtIssue);
+
+    // --- Probe events --------------------------------------------------------
+    // Fired after the statistics updates so lifetime fields (Insts)
+    // include this instruction; every count here shadows one of the
+    // aggregates above, which the probe self-check tests pin exactly.
+    if (Probes) {
+      const OpClass Class = opcodeInfo(I.Op).Class;
+      if (Probes->wants(ProbeEvent::InstIssued) ||
+          Probes->wants(ProbeEvent::MemAccess)) {
+        ProbeEventRecord R;
+        R.PC = PCAtIssue;
+        R.Op = static_cast<int64_t>(I.Op);
+        R.Class = static_cast<int64_t>(Class);
+        R.Lanes = static_cast<int64_t>(Lanes);
+        R.Block = B.BlockIdLinear;
+        R.Warp = W.WarpInBlock;
+        R.Cycle = static_cast<int64_t>(Now);
+        R.Dual = IssuingDualSecond ? 1 : 0;
+        if (Probes->wants(ProbeEvent::InstIssued))
+          Probes->fire(ProbeEvent::InstIssued, R);
+        bool IsShared = Class == OpClass::SharedMem;
+        bool IsGlobal = Class == OpClass::GlobalMem;
+        if ((IsShared || IsGlobal) &&
+            Probes->wants(ProbeEvent::MemAccess)) {
+          R.Space = IsGlobal ? 1 : 0;
+          R.Width = 8 * memWidthBytes(I.Width);
+          if (IsGlobal) {
+            R.Bytes = Fx.GlobalTransactions > 0 ? Fx.GlobalBytes : 0;
+            R.Transactions = Fx.GlobalTransactions;
+          } else {
+            R.Bytes = static_cast<int64_t>(Lanes) *
+                      memWidthBytes(I.Width);
+          }
+          Probes->fire(ProbeEvent::MemAccess, R);
+        }
+      }
+      if (WarpExited && Probes->wants(ProbeEvent::WarpExit)) {
+        ProbeEventRecord R;
+        R.Block = B.BlockIdLinear;
+        R.Warp = W.WarpInBlock;
+        R.Insts = static_cast<int64_t>(W.InstsIssued);
+        R.Cycle = static_cast<int64_t>(Now);
+        Probes->fire(ProbeEvent::WarpExit, R);
+      }
+      if (BlockDrained && Probes->wants(ProbeEvent::BlockDrained)) {
+        ProbeEventRecord R;
+        R.Block = B.BlockIdLinear;
+        R.Cycle = static_cast<int64_t>(Now);
+        Probes->fire(ProbeEvent::BlockDrained, R);
+      }
+    }
   }
 
   void releaseBarrierIfComplete(BlockState &B) {
@@ -602,7 +700,11 @@ private:
             !W.AtBarrier) {
           W.StallUntil = Now; // The pair issues in the same cycle.
           int PCSecond = W.PC;
-          if (tryIssue(WarpIdx, Sched, /*AllowReplayPenalty=*/false)) {
+          IssuingDualSecond = true;
+          bool Issued =
+              tryIssue(WarpIdx, Sched, /*AllowReplayPenalty=*/false);
+          IssuingDualSecond = false;
+          if (Issued) {
             ++Stats.DualIssues;
             // tryIssue returns true without reaching issue() only when
             // it trapped; on a clean true, PCSecond is the instruction
@@ -651,7 +753,11 @@ private:
   const LaunchDims &Dims;
   TraceRecorder *Trace;
   KernelProfile *Profile;
+  ProbeEngine *Probes;
   const uint64_t Budget;
+  /// True while the dual-issue second half is in tryIssue/issue, so the
+  /// fired InstIssued event can carry Dual=1.
+  bool IssuingDualSecond = false;
 
   std::vector<BlockState> Blocks;
   std::vector<WarpContext> Warps;
@@ -696,10 +802,11 @@ Expected<SimStats> gpuperf::simulateWave(
     const MachineDesc &M, const Kernel &K, Executor &Exec,
     const LaunchDims &Dims, const std::vector<int> &BlockIds,
     uint64_t WatchdogCycles, TrapInfo *TrapOut, TraceRecorder *Trace,
-    KernelProfile *Profile) {
+    KernelProfile *Profile, ProbeEngine *Probes) {
   if (Profile && Profile->codeSize() != K.Code.size())
     Profile->reset(K.Code.size());
-  SMSim Sim(M, K, Exec, Dims, BlockIds, WatchdogCycles, Trace, Profile);
+  SMSim Sim(M, K, Exec, Dims, BlockIds, WatchdogCycles, Trace, Profile,
+            Probes);
   Expected<SimStats> Result = Sim.run(TrapOut);
   if (Result.hasValue()) {
     SimulatedCycleTally.fetch_add(Result->Cycles,

@@ -21,6 +21,7 @@
 
 #include "arch/MachineDesc.h"
 #include "isa/Module.h"
+#include "probe/ProbeEngine.h"
 #include "sim/Executor.h"
 #include "sim/Profile.h"
 #include "sim/Stats.h"
@@ -59,13 +60,19 @@ inline constexpr uint64_t MaxWaveCycles = 1ull << 33;
 /// profile is reset only if its shape does not match \p K), preserving
 /// the per-cause identity Profile->breakdown() == Stats.Breakdown for
 /// successful waves -- see sim/Profile.h for the attribution rules.
+///
+/// When \p Probes is non-null (and enabled) the wave additionally fires
+/// probe events into it at the same observation points -- the caller
+/// brackets waves with ProbeEngine::beginWave so watchpoint cycles read
+/// on the SM launch timeline, mirroring the TraceRecorder protocol.
 Expected<SimStats> simulateWave(const MachineDesc &M, const Kernel &K,
                                 Executor &Exec, const LaunchDims &Dims,
                                 const std::vector<int> &BlockIds,
                                 uint64_t WatchdogCycles = 0,
                                 TrapInfo *TrapOut = nullptr,
                                 TraceRecorder *Trace = nullptr,
-                                KernelProfile *Profile = nullptr);
+                                KernelProfile *Profile = nullptr,
+                                ProbeEngine *Probes = nullptr);
 
 /// Process-wide count of SM cycles simulated by successful waves since
 /// process start (atomic; waves may run concurrently). The bench

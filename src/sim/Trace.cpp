@@ -137,6 +137,19 @@ std::string gpuperf::chromeTraceJson(const SimTrace &Trace,
     W.endObject();
   }
 
+  // Surface ring evictions inside the timeline itself (in addition to
+  // the top-level key below): viewers and scripts that read only
+  // traceEvents still learn the timeline is truncated.
+  W.beginObject();
+  W.kv("name", "dropped_events");
+  W.kv("ph", "M");
+  W.kv("pid", 0);
+  W.key("args");
+  W.beginObject();
+  W.kv("dropped_events", Trace.DroppedEvents);
+  W.endObject();
+  W.endObject();
+
   for (const TraceEvent &E : Trace.Events) {
     W.beginObject();
     if (E.IsStall) {

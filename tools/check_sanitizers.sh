@@ -45,7 +45,9 @@ fi
 # it rides along; the profile suite exercises the per-SM profile merge
 # under the parallel launcher; the journal and sweep-supervisor suites
 # cover the journaled PerfDatabase and the retrying sweep engine, whose
-# checkpoint appends and sleep hooks run on pool worker threads.
+# checkpoint appends and sleep hooks run on pool worker threads; the
+# probe suite merges per-SM probe clones under the parallel launcher
+# and the process-wide engine behind its mutex.
 TSAN_BUILD="$BUILD-tsan"
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -54,4 +56,4 @@ cmake --build "$TSAN_BUILD" -j"$(nproc)"
 
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R '(support|parallel_sim|perf_cache|perf_journal|sweep_supervisor|stats|scheduler|profile)_test|trace_smoke' "$@"
+    -R '(support|parallel_sim|perf_cache|perf_journal|sweep_supervisor|stats|scheduler|profile|probe)_test|trace_smoke' "$@"

@@ -20,6 +20,7 @@
 
 #include "analysis/HotspotReport.h"
 #include "kernelgen/Scheduler.h"
+#include "probe/ProbeEngine.h"
 #include "sim/Launcher.h"
 #include "support/Args.h"
 #include "support/Format.h"
@@ -38,6 +39,7 @@ static int usage() {
       "               [--grid X[,Y]] [--block N] [--param word]...\n"
       "               [--mem bytes] [--watchdog cycles] [--jobs N]\n"
       "               [--schedule drip|list] [--json FILE]\n"
+      "               [--probe FILE] [--probe-out FILE]\n"
       "\n"
       "  --schedule list     re-schedule the kernel (bank rotation +\n"
       "                      list scheduling) before profiling; 'drip'\n"
@@ -46,6 +48,10 @@ static int usage() {
       "                      profile is bit-identical for every N\n"
       "  --json FILE         also write the versioned profile record\n"
       "                      (schema_version %d) for perfdiff\n"
+      "  --probe FILE        evaluate the declarative probe specs in FILE\n"
+      "                      alongside the profile and print the results\n"
+      "  --probe-out FILE    write the probe results as a versioned JSON\n"
+      "                      record (requires --probe)\n"
       "\n"
       "exit codes: 0 ok, 1 load/launch error, 2 usage, 3 runtime trap\n",
       MetricsSchemaVersion);
@@ -86,6 +92,9 @@ int main(int Argc, char **Argv) {
   size_t MemBytes = 0;
   bool Reschedule = false;
   std::string JsonPath;
+  std::string ProbePath;
+  std::string ProbeOutPath;
+  ProbeEngine Probes;
 
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--machine") == 0 && I + 1 < Argc) {
@@ -130,6 +139,14 @@ int main(int Argc, char **Argv) {
       JsonPath = Argv[++I];
     } else if (std::strncmp(Argv[I], "--json=", 7) == 0) {
       JsonPath = Argv[I] + 7;
+    } else if (std::strcmp(Argv[I], "--probe") == 0 && I + 1 < Argc) {
+      ProbePath = Argv[++I];
+    } else if (std::strncmp(Argv[I], "--probe=", 8) == 0) {
+      ProbePath = Argv[I] + 8;
+    } else if (std::strcmp(Argv[I], "--probe-out") == 0 && I + 1 < Argc) {
+      ProbeOutPath = Argv[++I];
+    } else if (std::strncmp(Argv[I], "--probe-out=", 12) == 0) {
+      ProbeOutPath = Argv[I] + 12;
     } else if (Argv[I][0] == '-') {
       return usage();
     } else if (!Input) {
@@ -142,6 +159,19 @@ int main(int Argc, char **Argv) {
   }
   if (!Input)
     return usage();
+  if (!ProbeOutPath.empty() && ProbePath.empty()) {
+    std::fprintf(stderr, "gpuprof: --probe-out requires --probe\n");
+    return 2;
+  }
+  if (!ProbePath.empty()) {
+    auto Specs = loadProbeSpecFile(ProbePath);
+    if (!Specs) {
+      std::fprintf(stderr, "gpuprof: --probe: %s\n",
+                   Specs.message().c_str());
+      return 2;
+    }
+    Probes = ProbeEngine(Specs.take());
+  }
 
   auto Mod = Module::readFromFile(Input);
   if (!Mod) {
@@ -178,6 +208,8 @@ int main(int Argc, char **Argv) {
   }
   KernelProfile Profile;
   Config.Profile = &Profile;
+  if (Probes.enabled())
+    Config.Probes = &Probes;
   TrapInfo Trap;
   auto R = launchKernel(*M, *K, Config, GM, &Trap);
   if (!R) {
@@ -192,6 +224,30 @@ int main(int Argc, char **Argv) {
   std::printf("%s", renderAnnotatedReport(*M, *K, Profile).c_str());
   std::printf("\ncycles %.0f (%.3f us)\n", R->TotalCycles,
               R->seconds(*M) * 1e6);
+
+  if (Probes.enabled()) {
+    std::printf("\nprobe results (%s)\n%s", ProbePath.c_str(),
+                Probes.report().c_str());
+    if (!ProbeOutPath.empty()) {
+      std::string Json =
+          probeRecordJson(Probes, MetricsSchemaVersion, M->Name, K->Name);
+      FILE *F = std::fopen(ProbeOutPath.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "gpuprof: --probe-out: cannot write '%s'\n",
+                     ProbeOutPath.c_str());
+        return 1;
+      }
+      size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+      bool CloseOk = std::fclose(F) == 0;
+      if (Written != Json.size() || !CloseOk) {
+        std::fprintf(stderr, "gpuprof: --probe-out: short write to '%s'\n",
+                     ProbeOutPath.c_str());
+        return 1;
+      }
+      std::printf("probe record %zu bytes -> %s\n", Json.size(),
+                  ProbeOutPath.c_str());
+    }
+  }
 
   if (!JsonPath.empty()) {
     ProfileRecordInfo Info;

@@ -22,6 +22,7 @@
 
 #include "analysis/HotspotReport.h"
 #include "kernelgen/Scheduler.h"
+#include "probe/ProbeEngine.h"
 #include "sim/Launcher.h"
 #include "support/Args.h"
 #include "support/Format.h"
@@ -39,7 +40,8 @@ static int usage() {
       "usage: gpurun module.gpub [kernel] [--machine GTX580|GTX680]\n"
       "              [--grid X[,Y]] [--block N] [--param word]...\n"
       "              [--mem bytes] [--watchdog cycles] [--jobs N]\n"
-      "              [--metrics] [--trace FILE] [--profile FILE]\n"
+      "              [--metrics] [--trace FILE] [--trace-ring N]\n"
+      "              [--profile FILE] [--probe FILE] [--probe-out FILE]\n"
       "              [--schedule drip|list]\n"
       "\n"
       "  --schedule list     re-schedule the kernel before launching:\n"
@@ -63,6 +65,15 @@ static int usage() {
       "  --trace FILE        write a Chrome trace_event JSON timeline of\n"
       "                      per-warp issues and per-scheduler stalls\n"
       "                      (open in chrome://tracing or Perfetto)\n"
+      "  --trace-ring N      retained trace events per track before the\n"
+      "                      oldest are evicted (default 4096); evictions\n"
+      "                      are reported in the JSON and on stderr\n"
+      "  --probe FILE        evaluate the declarative probe specs in FILE\n"
+      "                      over the launch's simulation events and print\n"
+      "                      the results (see probes/ for stock specs);\n"
+      "                      bit-identical for every --jobs value\n"
+      "  --probe-out FILE    additionally write the probe results as a\n"
+      "                      versioned JSON record (requires --probe)\n"
       "  --profile FILE      profile every static instruction (issues,\n"
       "                      dual issues, replays, lost slots by cause),\n"
       "                      print the annotated disassembly report, and\n"
@@ -110,6 +121,9 @@ int main(int Argc, char **Argv) {
   SimTrace Trace;
   std::string ProfilePath;
   KernelProfile Profile;
+  std::string ProbePath;
+  std::string ProbeOutPath;
+  ProbeEngine Probes;
 
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--machine") == 0 && I + 1 < Argc) {
@@ -156,10 +170,21 @@ int main(int Argc, char **Argv) {
       TracePath = Argv[++I];
     } else if (std::strncmp(Argv[I], "--trace=", 8) == 0) {
       TracePath = Argv[I] + 8;
+    } else if (std::strcmp(Argv[I], "--trace-ring") == 0 && I + 1 < Argc) {
+      Trace.RingCapacity = static_cast<size_t>(
+          flagInt("--trace-ring", Argv[++I], 1, 1 << 30));
     } else if (std::strcmp(Argv[I], "--profile") == 0 && I + 1 < Argc) {
       ProfilePath = Argv[++I];
     } else if (std::strncmp(Argv[I], "--profile=", 10) == 0) {
       ProfilePath = Argv[I] + 10;
+    } else if (std::strcmp(Argv[I], "--probe") == 0 && I + 1 < Argc) {
+      ProbePath = Argv[++I];
+    } else if (std::strncmp(Argv[I], "--probe=", 8) == 0) {
+      ProbePath = Argv[I] + 8;
+    } else if (std::strcmp(Argv[I], "--probe-out") == 0 && I + 1 < Argc) {
+      ProbeOutPath = Argv[++I];
+    } else if (std::strncmp(Argv[I], "--probe-out=", 12) == 0) {
+      ProbeOutPath = Argv[I] + 12;
     } else if (Argv[I][0] == '-') {
       return usage();
     } else if (!Input) {
@@ -172,6 +197,19 @@ int main(int Argc, char **Argv) {
   }
   if (!Input)
     return usage();
+  if (!ProbeOutPath.empty() && ProbePath.empty()) {
+    std::fprintf(stderr, "gpurun: --probe-out requires --probe\n");
+    return 2;
+  }
+  if (!ProbePath.empty()) {
+    auto Specs = loadProbeSpecFile(ProbePath);
+    if (!Specs) {
+      std::fprintf(stderr, "gpurun: --probe: %s\n",
+                   Specs.message().c_str());
+      return 2;
+    }
+    Probes = ProbeEngine(Specs.take());
+  }
 
   auto Mod = Module::readFromFile(Input);
   if (!Mod) {
@@ -214,6 +252,8 @@ int main(int Argc, char **Argv) {
     Config.Trace = &Trace;
   if (!ProfilePath.empty())
     Config.Profile = &Profile;
+  if (Probes.enabled())
+    Config.Probes = &Probes;
   TrapInfo Trap;
   auto R = launchKernel(*M, *K, Config, GM, &Trap);
   if (!R) {
@@ -294,6 +334,37 @@ int main(int Argc, char **Argv) {
                                        Trace.DroppedEvents))
                           .c_str()
                     : "");
+    if (Trace.DroppedEvents)
+      std::fprintf(stderr,
+                   "gpurun: warning: the trace is truncated: %llu oldest "
+                   "events were evicted by the per-track ring "
+                   "(capacity %zu); raise --trace-ring to keep them\n",
+                   static_cast<unsigned long long>(Trace.DroppedEvents),
+                   Trace.RingCapacity);
+  }
+
+  if (Probes.enabled()) {
+    std::printf("\nprobe results (%s)\n%s", ProbePath.c_str(),
+                Probes.report().c_str());
+    if (!ProbeOutPath.empty()) {
+      std::string Json =
+          probeRecordJson(Probes, MetricsSchemaVersion, M->Name, K->Name);
+      FILE *F = std::fopen(ProbeOutPath.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "gpurun: --probe-out: cannot write '%s'\n",
+                     ProbeOutPath.c_str());
+        return 1;
+      }
+      size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+      bool CloseOk = std::fclose(F) == 0;
+      if (Written != Json.size() || !CloseOk) {
+        std::fprintf(stderr, "gpurun: --probe-out: short write to '%s'\n",
+                     ProbeOutPath.c_str());
+        return 1;
+      }
+      std::printf("probe record       %zu bytes -> %s\n", Json.size(),
+                  ProbeOutPath.c_str());
+    }
   }
 
   if (!ProfilePath.empty()) {

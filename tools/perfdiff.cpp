@@ -53,8 +53,18 @@ static int usage() {
       "  --tolerance metric=frac   allow the numeric leaf named 'metric'\n"
       "                            to deviate by the relative fraction\n"
       "                            (e.g. cycles=0.02 allows 2%%); the\n"
-      "                            name '*' sets the default for every\n"
-      "                            metric (otherwise 0: exact match)\n"
+      "                            name may also be a dotted path\n"
+      "                            ('probes.gmem_bytes.value=0.05') or a\n"
+      "                            dotted prefix covering a subtree\n"
+      "                            ('probes=0.05'); the name '*' sets\n"
+      "                            the default for every metric\n"
+      "                            (otherwise 0: exact match)\n"
+      "  --require NAME            fail (exit 1) unless the current\n"
+      "                            record has the field NAME, given as a\n"
+      "                            dotted path ('probes.gmem_bytes');\n"
+      "                            repeatable -- guards against a gated\n"
+      "                            object silently vanishing from new\n"
+      "                            records\n"
       "  --ignore NAME             skip the object key NAME entirely\n"
       "                            (repeatable); for fields that\n"
       "                            legitimately differ between the runs\n"
@@ -74,9 +84,23 @@ namespace {
 
 struct DiffOptions {
   std::map<std::string, double> Tolerance;
-  std::set<std::string> Ignored; ///< Extra keys from --ignore.
+  std::set<std::string> Ignored;      ///< Extra keys from --ignore.
+  std::vector<std::string> Require;   ///< Dotted paths from --require.
 
-  double toleranceFor(const std::string &Leaf) const {
+  /// Most-specific tolerance wins: the full dotted path, then its
+  /// longest dot-boundary prefix (so 'probes=0.05' covers the whole
+  /// subtree), then the bare leaf name, then '*'.
+  double toleranceFor(const std::string &Path,
+                      const std::string &Leaf) const {
+    if (auto It = Tolerance.find(Path); It != Tolerance.end())
+      return It->second;
+    std::string Prefix = Path;
+    for (size_t Dot = Prefix.rfind('.'); Dot != std::string::npos;
+         Dot = Prefix.rfind('.')) {
+      Prefix.resize(Dot);
+      if (auto It = Tolerance.find(Prefix); It != Tolerance.end())
+        return It->second;
+    }
     if (auto It = Tolerance.find(Leaf); It != Tolerance.end())
       return It->second;
     if (auto It = Tolerance.find("*"); It != Tolerance.end())
@@ -133,7 +157,7 @@ void diffValue(const JsonValue &B, const JsonValue &C,
                                  C.Bool ? "true" : "false"));
     return;
   case JsonValue::Kind::Number: {
-    double Tol = O.toleranceFor(Leaf);
+    double Tol = O.toleranceFor(Path, Leaf);
     double Scale = std::max(std::fabs(B.Number), std::fabs(C.Number));
     double Delta = std::fabs(C.Number - B.Number);
     // Exact tolerance means exact match; otherwise relative to the
@@ -258,6 +282,27 @@ int diffFiles(const std::string &Baseline, const std::string &Current,
     return 2;
   }
   std::vector<std::string> Diffs;
+  // --require guards fields the baseline may predate: a missing
+  // baseline key is only reported as informational drift, so without
+  // this an object could vanish from new records and the gate would
+  // still pass once the baseline was regenerated without it.
+  for (const std::string &Name : O.Require) {
+    const JsonValue *V = &*C;
+    size_t Pos = 0;
+    while (V) {
+      size_t Dot = Name.find('.', Pos);
+      std::string Part = Name.substr(
+          Pos, Dot == std::string::npos ? std::string::npos : Dot - Pos);
+      V = V->isObject() ? V->find(Part) : nullptr;
+      if (Dot == std::string::npos)
+        break;
+      Pos = Dot + 1;
+    }
+    if (!V)
+      Diffs.push_back(formatString(
+          "%s: required (--require) but missing from current record",
+          Name.c_str()));
+  }
   diffValue(*B, *C, "", "", O, Diffs);
   if (Diffs.empty()) {
     std::printf("perfdiff: %s vs %s: ok\n", Baseline.c_str(),
@@ -297,6 +342,13 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.Tolerance[Spec.substr(0, Eq)] = *Frac;
+    } else if (std::strcmp(Argv[I], "--require") == 0 && I + 1 < Argc) {
+      std::string Name = Argv[++I];
+      if (Name.empty()) {
+        std::fprintf(stderr, "perfdiff: --require: empty field name\n");
+        return 2;
+      }
+      Opts.Require.push_back(Name);
     } else if (std::strcmp(Argv[I], "--ignore") == 0 && I + 1 < Argc) {
       std::string Name = Argv[++I];
       if (Name.empty()) {

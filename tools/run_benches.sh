@@ -241,10 +241,29 @@ if [ "$CHECK" = 1 ]; then
     write_manifest "failed"
     exit "$STATUS"
   fi
+  # One probe-enabled record so the committed baseline gates the
+  # versioned "probes" object too (--probe implies a cold cache, so the
+  # record is as deterministic as the smoke one). The explicit --require
+  # makes the gate fail even if both records silently lost the object.
+  echo "== upper_bound_analysis --probe (probe record)" >&2
+  STATUS=0
+  run_logged "$BUILD/bench/upper_bound_analysis" --jobs "$JOBS" \
+      --no-cache --probe "$ROOT/probes/gmem_bytes.probe" \
+      --json "$OUT/probe_upper_bound_analysis.json" \
+      > "$OUT/probe_upper_bound_analysis.txt" || STATUS=$?
+  if [ "$STATUS" -ne 0 ]; then
+    echo "error: probe record collection failed with exit status" \
+         "$STATUS" >&2
+    write_manifest "failed"
+    exit "$STATUS"
+  fi
   echo >&2
   echo "== perfdiff against $ROOT/bench/baselines" >&2
   "$BUILD/tools/perfdiff" --baselines "$ROOT/bench/baselines" \
     --current "$OUT"
+  "$BUILD/tools/perfdiff" \
+    "$ROOT/bench/baselines/probe_upper_bound_analysis.json" \
+    "$OUT/probe_upper_bound_analysis.json" --require probes
 fi
 
 write_manifest "completed"
